@@ -1,0 +1,63 @@
+"""Figure 7 — speedup with a realistic model of register reallocation.
+
+For the four applications where reallocation matters (hydro2d, li, mgrid,
+su2cor): LVP, dynamic RVP for all instructions with *no* reallocation, with
+the full Section 7.3 graph-colouring reallocation, and with ideal
+reallocation (the profile-hint model).
+
+Paper shape: "Compiler-based register reallocation appears able to generate
+most of the performance potential uncovered by our profiles.  In each case
+where traditional last-value prediction outperformed the base DRVP result,
+the register reallocation was sufficient to exceed it" (we assert the
+first claim strictly and the second as a strong tendency — see
+EXPERIMENTS.md for the per-program discussion).
+"""
+
+from __future__ import annotations
+
+from conftest import run_once
+
+from repro.core import ResultTable
+
+PROGRAMS = ("hydro2d", "li", "mgrid", "su2cor")
+CONFIGS = ("no_predict", "lvp", "drvp_all", "drvp_all_realloc", "drvp_all_dead_lv")
+
+
+def test_fig7_realistic_reallocation(benchmark, runners):
+    def collect():
+        table = ResultTable()
+        reports = {}
+        for name in PROGRAMS:
+            runner = runners.get(name)
+            for config in CONFIGS:
+                table.add(runner.run(config))
+            reports[name] = runner.realloc_report
+        return table, reports
+
+    table, reports = run_once(benchmark, collect)
+    print("\n" + table.render_speedup("Figure 7: realistic register reallocation (speedup)"))
+    for name, report in reports.items():
+        print(
+            f"{name:10s} dead applied {report.dead_applied}/{report.dead_attempted} "
+            f"(conflicting {report.dead_conflicting}, foreign {report.dead_foreign}); "
+            f"lvr applied {report.lvr_applied}/{report.lvr_attempted} "
+            f"(not-in-loop {report.lvr_not_in_loop}, shared {report.lvr_shared})"
+        )
+
+    for name in PROGRAMS:
+        base = table.speedup(name, "drvp_all")
+        realloc = table.speedup(name, "drvp_all_realloc")
+        ideal = table.speedup(name, "drvp_all_dead_lv")
+        # Reallocation never hurts the unassisted result...
+        assert realloc >= base - 0.01, (name, base, realloc)
+        # ...and does not exceed what the ideal profile model allows (small
+        # tolerance: the realistic transform can shift cache/queue timing).
+        assert realloc <= max(ideal, base) + 0.05, (name, realloc, ideal)
+    # The reallocator actually applied reuses somewhere, and abandoned some
+    # (the paper: "we typically have thrown out over half of the reuses").
+    assert any(r.dead_applied + r.lvr_applied > 0 for r in reports.values())
+    assert any(
+        r.dead_conflicting + r.dead_foreign + r.lvr_not_in_loop + r.lvr_shared > 0 for r in reports.values()
+    )
+    # mgrid is the clean showcase: realloc recovers most of ideal and beats LVP.
+    assert table.speedup("mgrid", "drvp_all_realloc") > table.speedup("mgrid", "lvp")

@@ -1,0 +1,44 @@
+"""Table 1 — processor parameters used in the simulator.
+
+Regenerates the parameter table and checks the modelled machine matches the
+paper's configuration exactly (this is the one 'result' that must match
+absolutely, not just in shape).
+"""
+
+from __future__ import annotations
+
+from conftest import run_once
+
+from repro.uarch import aggressive_config, table1_config
+
+
+def test_table1_parameters(benchmark):
+    cfg = run_once(benchmark, table1_config)
+
+    rows = [
+        ("Inst queue size", f"{cfg.iq_int} int, {cfg.iq_fp} fp"),
+        ("Functional units", f"{cfg.fu_int} integer ({cfg.fu_ldst} can perform loads/stores); {cfg.fu_fp} fp"),
+        ("Fetch bandwidth", f"{cfg.fetch_width} instructions"),
+        ("Branch prediction", f"{cfg.btb_entries}-entry BTB, {cfg.pht_entries} x 2-bit PHT, gshare"),
+        ("L1 I-cache", f"{cfg.l1i.size_bytes // 1024}KB, {cfg.l1i.assoc}-way, {cfg.l1i.line_bytes}B lines, {cfg.l1i.miss_penalty}-cycle miss"),
+        ("L1 D-cache", f"{cfg.l1d.size_bytes // 1024}KB, {cfg.l1d.assoc}-way, {cfg.l1d.line_bytes}B lines, {cfg.l1d.miss_penalty}-cycle miss"),
+        ("L2 cache", f"{cfg.l2.size_bytes // 1024}KB, {cfg.l2.assoc}-way, {cfg.l2.line_bytes}B lines, {cfg.l2.miss_penalty}-cycle miss"),
+    ]
+    print("\nTable 1: processor parameters")
+    for name, value in rows:
+        print(f"  {name:18s} {value}")
+
+    assert cfg.iq_int == 32 and cfg.iq_fp == 32
+    assert cfg.fu_int == 6 and cfg.fu_ldst == 4 and cfg.fu_fp == 3
+    assert cfg.fetch_width == 8
+    assert cfg.btb_entries == 256 and cfg.pht_entries == 2048
+    assert cfg.l1i.size_bytes == 32 * 1024 and cfg.l1i.assoc == 4 and cfg.l1i.line_bytes == 64
+    assert cfg.l1d.miss_penalty == 20
+    assert cfg.l2.size_bytes == 512 * 1024 and cfg.l2.assoc == 2 and cfg.l2.miss_penalty == 80
+
+    wide = aggressive_config()
+    # Section 7.4: double queues, FUs, renaming registers, fetch bandwidth;
+    # up to three basic blocks per cycle.
+    assert wide.iq_int == 2 * cfg.iq_int and wide.fu_int == 2 * cfg.fu_int
+    assert wide.fetch_width == 2 * cfg.fetch_width and wide.fetch_blocks == 3
+    assert wide.rename_regs == 2 * cfg.rename_regs

@@ -1,0 +1,93 @@
+#!/usr/bin/env python3
+"""Bring your own program: assemble, profile, predict, simulate.
+
+Shows the full library surface on a hand-written assembly kernel — a sparse
+dot product whose index vector is mostly zeros (the paper's "constant
+locality" case, Section 3):
+
+1. assemble a program from text,
+2. run it functionally and profile register reuse,
+3. derive the four profile lists,
+4. simulate the Table 1 pipeline with and without dynamic RVP.
+
+Usage:
+    python examples/custom_workload.py
+"""
+
+import random
+
+from repro.isa import assemble
+from repro.profiling import ReuseProfile, critical_path_profile
+from repro.sim import Memory, run_program
+from repro.uarch import RecoveryScheme, simulate, table1_config
+from repro.vp import DynamicRVP, NoPredictor
+
+KERNEL = """
+; sparse dot product with a skip branch: the x[i] load feeds a branch, so
+; predicting the (mostly zero) loaded value resolves the branch early.
+.proc main
+main:
+    li   r13, #6            ; passes over the vectors
+    li   r12, #0            ; sum
+pass:
+    li   r9,  #0x1000       ; x base
+    li   r10, #0x9000       ; w base
+    li   r11, #1024         ; elements
+loop:
+    ld   r1, 0(r9)          ; x[i] -- mostly zero: constant locality
+    beq  r1, next           ; sparse skip, gated by the load
+    ld   r2, 0(r10)         ; w[i]
+    mul  r3, r1, r2
+    add  r12, r12, r3
+next:
+    add  r9,  r9,  #8
+    add  r10, r10, #8
+    sub  r11, r11, #1
+    bne  r11, loop
+    sub  r13, r13, #1
+    bne  r13, pass
+    st   r12, 0(r31)
+    halt
+"""
+
+
+def build_memory(seed: int = 7) -> Memory:
+    """x is block-sparse: long zero stretches with small dense clusters —
+    the structure of real sparse operands, and what gives the resetting
+    confidence counters streaks long enough to open up."""
+    rng = random.Random(seed)
+    x = []
+    while len(x) < 1024:
+        x.extend([0] * rng.randrange(20, 80))
+        x.extend(rng.randrange(1, 100) for _ in range(rng.randrange(2, 6)))
+    memory = Memory()
+    memory.write_words(0x1000, x[:1024])
+    memory.write_words(0x9000, [rng.randrange(1, 100) for _ in range(1024)])
+    return memory
+
+
+def main() -> None:
+    program = assemble(KERNEL, name="sparse_dot")
+
+    # Functional run + profiling.
+    result = run_program(program, memory=build_memory(), max_instructions=120_000, collect_trace=True)
+    print(f"functional: {result.instructions} instructions, sum = {result.memory.load(0)}")
+
+    profile = ReuseProfile.from_trace(result.trace)
+    x_load = next(s for s in profile.sites.values() if s.is_load)
+    print(f"x[i] load: same-register reuse {x_load.same_rate():.1%}, last-value {x_load.lv_rate():.1%}")
+    lists = profile.profile_lists(threshold=0.8)
+    print(f"profile lists: same={sorted(lists.same)} dead={sorted(lists.dead)} lv={sorted(lists.last_value)}")
+
+    # Pipeline with and without RVP (fresh trace on a different input seed).
+    trace = run_program(program, memory=build_memory(seed=8), max_instructions=120_000, collect_trace=True).trace
+    machine = table1_config()
+    base = simulate(trace, NoPredictor(), machine)
+    rvp = simulate(trace, DynamicRVP(lists=lists, use_dead=True, use_lv=True), machine, RecoveryScheme.SELECTIVE)
+    print(f"\nno_predict : IPC {base.ipc:.3f}")
+    print(f"dynamic RVP: IPC {rvp.ipc:.3f}  (speedup {rvp.ipc / base.ipc:.3f}, "
+          f"coverage {rvp.coverage:.1%}, accuracy {rvp.accuracy:.1%})")
+
+
+if __name__ == "__main__":
+    main()

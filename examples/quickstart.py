@@ -1,0 +1,52 @@
+#!/usr/bin/env python3
+"""Quickstart: reproduce the paper's headline comparison on one benchmark.
+
+Runs the m88ksim workload model on the paper's Table 1 machine under five
+configurations — no prediction, buffer-based last-value prediction, and
+dynamic register-value prediction at three compiler-assistance levels — and
+prints IPC, speedup, coverage and accuracy for each.
+
+Usage:
+    python examples/quickstart.py [workload] [max_instructions]
+"""
+
+import sys
+
+from repro.core import ExperimentRunner
+from repro.vp import DynamicRVP, LastValuePredictor, NoPredictor, estimate_storage
+
+CONFIGS = ("no_predict", "lvp_all", "drvp_all", "drvp_all_dead", "drvp_all_dead_lv")
+_STORAGE = {
+    "no_predict": NoPredictor(),
+    "lvp_all": LastValuePredictor(loads_only=False),
+    "drvp_all": DynamicRVP(),
+    "drvp_all_dead": DynamicRVP(use_dead=True),
+    "drvp_all_dead_lv": DynamicRVP(use_dead=True, use_lv=True),
+}
+
+
+def main() -> None:
+    workload = sys.argv[1] if len(sys.argv) > 1 else "m88ksim"
+    budget = int(sys.argv[2]) if len(sys.argv) > 2 else 40_000
+    print(f"workload={workload}, simulating {budget} committed instructions per run\n")
+
+    runner = ExperimentRunner(workload, max_instructions=budget)
+    base = runner.run("no_predict")
+    print(f"{'config':18s} {'IPC':>7s} {'speedup':>8s} {'coverage':>9s} {'accuracy':>9s} {'storage':>10s}")
+    for config in CONFIGS:
+        result = runner.run(config)
+        stats = result.stats
+        storage = estimate_storage(_STORAGE[config]).total_bytes / 1024
+        print(
+            f"{config:18s} {stats.ipc:7.3f} {stats.ipc / base.ipc:8.3f} "
+            f"{stats.coverage:9.1%} {stats.accuracy:9.1%} {storage:8.2f}KB"
+        )
+    print(
+        "\nThe storage column is the paper's whole argument: RVP's predictions"
+        "\ncome out of the register file — only the 3-bit confidence counters"
+        "\nare new hardware, ~1/36th of the last-value predictor's tables."
+    )
+
+
+if __name__ == "__main__":
+    main()

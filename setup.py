@@ -1,0 +1,10 @@
+"""Setup shim for environments without the ``wheel`` package.
+
+The canonical metadata lives in ``pyproject.toml``; this file exists so that
+``pip install -e . --no-build-isolation --no-use-pep517`` works offline
+(the PEP 660 editable path requires ``wheel``, which may be absent).
+"""
+
+from setuptools import setup
+
+setup()

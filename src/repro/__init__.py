@@ -1,0 +1,32 @@
+"""repro — reproduction of Tullsen & Seng, *Storageless Value Prediction
+Using Prior Register Values* (ISCA 1999).
+
+Layered public API:
+
+* :mod:`repro.isa`        — the RISC ISA substrate (registers, programs,
+  assembler, builder)
+* :mod:`repro.sim`        — functional simulator and dynamic traces
+* :mod:`repro.workloads`  — the nine SPEC95-model workloads
+* :mod:`repro.profiling`  — register-reuse / value / critical-path profiling
+* :mod:`repro.compiler`   — liveness, webs, colouring, Section 7.3
+  reallocation, static RVP marking
+* :mod:`repro.vp`         — value predictors (dynamic/static RVP, LVP,
+  Gabbay register predictor)
+* :mod:`repro.uarch`      — cycle-level out-of-order pipeline (Table 1)
+* :mod:`repro.core`       — named experiment configurations and result tables
+
+Quick start::
+
+    from repro.core import ExperimentRunner
+
+    runner = ExperimentRunner("m88ksim")
+    base = runner.run("no_predict")
+    rvp = runner.run("drvp_all_dead_lv")
+    print(rvp.ipc / base.ipc)
+"""
+
+from .core import CONFIG_NAMES, ExperimentResult, ExperimentRunner, ResultTable
+
+__version__ = "1.0.0"
+
+__all__ = ["CONFIG_NAMES", "ExperimentResult", "ExperimentRunner", "ResultTable", "__version__"]

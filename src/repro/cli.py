@@ -1,0 +1,184 @@
+"""Command-line interface: ``python -m repro <command>``.
+
+Commands
+--------
+
+``run``      Run one or more configurations on a workload and print a table::
+
+                 python -m repro run --workload m88ksim \\
+                     --config no_predict lvp_all drvp_all_dead
+
+``suite``    Run configurations across all nine workloads (a figure row)::
+
+                 python -m repro suite --config no_predict lvp_all drvp_all_dead_lv
+
+``profile``  Show a workload's register-reuse profile and the four lists::
+
+                 python -m repro profile --workload li --threshold 0.8
+
+``realloc``  Run the Section 7.3 reallocator and show the rewritten
+             instructions::
+
+                 python -m repro realloc --workload mgrid
+
+``list``     List available workloads and configuration names.
+"""
+
+from __future__ import annotations
+
+import argparse
+from typing import List, Optional
+
+from .core.experiment import CONFIG_NAMES, ExperimentRunner
+from .core.results import ResultTable
+from .uarch.config import aggressive_config, table1_config
+from .uarch.recovery import RecoveryScheme
+from .workloads.suite import WORKLOAD_CLASSES
+
+
+def _add_common(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument("--max-insts", type=int, default=40_000, help="committed-instruction budget per run")
+    parser.add_argument("--threshold", type=float, default=0.8, help="profile predictability threshold")
+    parser.add_argument("--wide", action="store_true", help="use the Section 7.4 16-wide machine")
+    parser.add_argument(
+        "--recovery",
+        choices=[s.value for s in RecoveryScheme],
+        default="selective",
+        help="value-misprediction recovery scheme",
+    )
+
+
+def _runner(args: argparse.Namespace, workload: str) -> ExperimentRunner:
+    machine = aggressive_config() if args.wide else table1_config()
+    return ExperimentRunner(workload, machine=machine, max_instructions=args.max_insts, threshold=args.threshold)
+
+
+def _cmd_run(args: argparse.Namespace) -> int:
+    runner = _runner(args, args.workload)
+    table = ResultTable()
+    scheme = RecoveryScheme.parse(args.recovery)
+    for config in args.config:
+        table.add(runner.run(config, recovery=scheme))
+    print(table.render_ipc(f"{args.workload} (IPC, {scheme.value} recovery)"))
+    if "no_predict" in args.config:
+        print(table.render_speedup("speedups"))
+    print(table.render_coverage("coverage/accuracy"))
+    return 0
+
+
+def _cmd_suite(args: argparse.Namespace) -> int:
+    table = ResultTable()
+    scheme = RecoveryScheme.parse(args.recovery)
+    for name in WORKLOAD_CLASSES:
+        runner = _runner(args, name)
+        for config in args.config:
+            table.add(runner.run(config, recovery=scheme))
+        print(f"  {name} done")
+    print()
+    print(table.render_speedup(f"suite speedups ({scheme.value} recovery)"))
+    print(table.render_coverage("coverage/accuracy"))
+    return 0
+
+
+def _cmd_profile(args: argparse.Namespace) -> int:
+    runner = _runner(args, args.workload)
+    profile = runner.train_profile()
+    lists = runner.profile_lists()
+    program = runner.workload.program
+    fractions = profile.fig1.fractions()
+    print(f"{args.workload}: load reuse (train input) — same {fractions['same']:.1%}, "
+          f"dead {fractions['dead']:.1%}, any {fractions['any']:.1%}, any|lvp {fractions['any_or_lvp']:.1%}\n")
+    print(f"{'pc':>4s}  {'instruction':30s} {'count':>7s} {'same':>6s} {'lv':>6s}  lists")
+    for pc, site in sorted(profile.sites.items()):
+        if site.count < 8:
+            continue
+        tags = [
+            name
+            for name, member in (
+                ("same", pc in lists.same),
+                ("dead", pc in lists.dead),
+                ("live", pc in lists.live),
+                ("lv", pc in lists.last_value),
+            )
+            if member
+        ]
+        hint = ""
+        if pc in lists.dead:
+            hint = f" <- {lists.dead[pc].reg.name}"
+        print(
+            f"{pc:4d}  {program[pc].render():30s} {site.count:7d} {site.same_rate():6.1%} "
+            f"{site.lv_rate():6.1%}  {','.join(tags)}{hint}"
+        )
+    return 0
+
+
+def _cmd_realloc(args: argparse.Namespace) -> int:
+    runner = _runner(args, args.workload)
+    new_program = runner.program_variant("realloc")
+    report = runner.realloc_report
+    print(f"{args.workload}: dead {report.dead_applied}/{report.dead_attempted} applied, "
+          f"lvr {report.lvr_applied}/{report.lvr_attempted} applied")
+    changed = 0
+    for before, after in zip(runner.workload.program, new_program):
+        if before.render() != after.render():
+            print(f"  pc {before.pc:3d}:  {before.render():30s} ->  {after.render()}")
+            changed += 1
+    if not changed:
+        print("  (no instructions rewritten)")
+    return 0
+
+
+def _cmd_list(args: argparse.Namespace) -> int:
+    print("workloads:")
+    for name, cls in WORKLOAD_CLASSES.items():
+        print(f"  {name:10s} [{cls.category}]  {cls.description}")
+    print("\nconfigurations:")
+    for config in CONFIG_NAMES:
+        print(f"  {config}")
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Storageless Value Prediction Using Prior Register Values (ISCA 1999) — reproduction CLI",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    run_parser = sub.add_parser("run", help="run configurations on one workload")
+    run_parser.add_argument("--workload", required=True, choices=sorted(WORKLOAD_CLASSES))
+    run_parser.add_argument("--config", nargs="+", default=["no_predict", "lvp_all", "drvp_all_dead_lv"])
+    _add_common(run_parser)
+    run_parser.set_defaults(fn=_cmd_run)
+
+    suite_parser = sub.add_parser("suite", help="run configurations across all workloads")
+    suite_parser.add_argument("--config", nargs="+", default=["no_predict", "lvp_all", "drvp_all_dead_lv"])
+    _add_common(suite_parser)
+    suite_parser.set_defaults(fn=_cmd_suite)
+
+    profile_parser = sub.add_parser("profile", help="show a workload's reuse profile")
+    profile_parser.add_argument("--workload", required=True, choices=sorted(WORKLOAD_CLASSES))
+    _add_common(profile_parser)
+    profile_parser.set_defaults(fn=_cmd_profile)
+
+    realloc_parser = sub.add_parser("realloc", help="run the Section 7.3 reallocator")
+    realloc_parser.add_argument("--workload", required=True, choices=sorted(WORKLOAD_CLASSES))
+    _add_common(realloc_parser)
+    realloc_parser.set_defaults(fn=_cmd_realloc)
+
+    list_parser = sub.add_parser("list", help="list workloads and configurations")
+    list_parser.set_defaults(fn=_cmd_list)
+    return parser
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    try:
+        return args.fn(args)
+    except BrokenPipeError:  # e.g. `python -m repro list | head`
+        return 0
+
+
+if __name__ == "__main__":  # pragma: no cover - exercised via __main__
+    raise SystemExit(main())

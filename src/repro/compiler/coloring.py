@@ -1,0 +1,93 @@
+"""Chaitin-Briggs graph colouring (paper reference [2]).
+
+The colouring problem here never spills: the original program *is* a valid
+colouring, and the reallocator only adds constraints (coalesce groups and
+loop-exclusivity edges).  When the augmented graph cannot be coloured, the
+caller removes reuse constraints and retries — that pruning loop is the
+paper's Section 7.3 procedure, so :func:`color_graph` reports the uncoloured
+nodes instead of spilling.
+
+Nodes are *groups* (coalesced web sets).  Fixed groups are precoloured with
+their original register; free groups may take any register from their class
+pool, with a preference for their original register so that an unconstrained
+colouring reproduces the input program exactly.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Set, Tuple
+
+from ..isa.registers import ALLOCATABLE_FP, ALLOCATABLE_INT, Reg
+
+_POOLS: Dict[str, Tuple[Reg, ...]] = {"int": ALLOCATABLE_INT, "fp": ALLOCATABLE_FP}
+
+
+@dataclass
+class ColorNode:
+    """One colouring node (a coalesce group of webs)."""
+
+    node_id: int
+    kind: str  # 'int' or 'fp'
+    preferred: Reg  # original register, used as tie-break
+    fixed: Optional[Reg] = None  # precoloured register, if any
+
+
+@dataclass
+class ColoringResult:
+    assignment: Dict[int, Reg]
+    uncolored: Set[int] = field(default_factory=set)
+
+    @property
+    def ok(self) -> bool:
+        return not self.uncolored
+
+
+def color_graph(nodes: Sequence[ColorNode], adjacency: Dict[int, Set[int]]) -> ColoringResult:
+    """Colour the graph; precoloured nodes keep their colour.
+
+    Uses optimistic Chaitin-Briggs: simplify below-degree nodes, push the
+    rest optimistically, and report any node that finds no free colour.
+    """
+    by_id = {node.node_id: node for node in nodes}
+    assignment: Dict[int, Reg] = {}
+    for node in nodes:
+        if node.fixed is not None:
+            assignment[node.node_id] = node.fixed
+
+    free_ids = [node.node_id for node in nodes if node.fixed is None]
+    degree = {nid: len([n for n in adjacency.get(nid, ()) if n in by_id]) for nid in free_ids}
+    remaining = set(free_ids)
+    stack: List[int] = []
+
+    def k_of(nid: int) -> int:
+        return len(_POOLS[by_id[nid].kind])
+
+    while remaining:
+        candidate = None
+        for nid in sorted(remaining):
+            live_degree = sum(1 for n in adjacency.get(nid, ()) if n in remaining or by_id.get(n, ColorNode(-1, "", None, None)).fixed is not None)
+            if live_degree < k_of(nid):
+                candidate = nid
+                break
+        if candidate is None:
+            # Optimistic push: highest degree first.
+            candidate = max(remaining, key=lambda n: degree[n])
+        remaining.discard(candidate)
+        stack.append(candidate)
+
+    uncolored: Set[int] = set()
+    while stack:
+        nid = stack.pop()
+        node = by_id[nid]
+        taken = {assignment[n] for n in adjacency.get(nid, ()) if n in assignment}
+        pool = _POOLS[node.kind]
+        if node.preferred is not None and node.preferred not in taken and node.preferred in pool:
+            assignment[nid] = node.preferred
+            continue
+        choice = next((reg for reg in pool if reg not in taken), None)
+        if choice is None:
+            uncolored.add(nid)
+        else:
+            assignment[nid] = choice
+    return ColoringResult(assignment=assignment, uncolored=uncolored)

@@ -1,0 +1,57 @@
+"""Instruction insertion with label/procedure remapping.
+
+The marking and reallocation passes are 1:1 rewrites; the Section 3
+"Et Cetera" transformations (stride adds, correlation moves) *insert*
+instructions.  Because :class:`~repro.isa.program.Program` stores branch
+targets symbolically (label names, re-resolved at construction), insertion
+reduces to rebuilding the instruction list and shifting label/procedure
+boundaries.
+
+Convention: ``insert_after[pc]`` instructions are placed immediately after
+the instruction at ``pc``.  Labels bound to ``pc + 1`` keep pointing at the
+original ``pc + 1`` instruction — control transfers skip the inserted code,
+which is safe for this module's intended use (shadow-register updates with
+no architectural consumers) and conservative for anything else.
+"""
+
+from __future__ import annotations
+
+from dataclasses import replace
+from typing import Dict, List, Sequence, Tuple
+
+from ..isa.instructions import Instruction
+from ..isa.program import Procedure, Program
+
+
+def insert_after(
+    program: Program,
+    insertions: Dict[int, Sequence[Instruction]],
+    name: str = None,
+) -> Tuple[Program, Dict[int, int]]:
+    """Insert instructions after the given pcs.
+
+    Returns ``(new_program, pc_map)`` where ``pc_map`` maps every original pc
+    to its new pc (inserted instructions have no entry).
+    """
+    for pc in insertions:
+        if not 0 <= pc < len(program):
+            raise ValueError(f"insertion point {pc} out of range")
+
+    new_insts: List[Instruction] = []
+    pc_map: Dict[int, int] = {}
+    for inst in program:
+        pc_map[inst.pc] = len(new_insts)
+        new_insts.append(inst)
+        for extra in insertions.get(inst.pc, ()):
+            new_insts.append(extra)
+
+    def shifted(position: int) -> int:
+        """New index for an original *boundary* position (0..len)."""
+        if position >= len(program):
+            return len(new_insts)
+        return pc_map[position]
+
+    labels = {label: shifted(pc) for label, pc in program.labels.items()}
+    procedures = [Procedure(p.name, shifted(p.start), shifted(p.end)) for p in program.procedures]
+    new_program = Program(new_insts, labels, name or f"{program.name}+ins", procedures)
+    return new_program, pc_map

@@ -1,0 +1,35 @@
+"""Interference graphs over webs (paper Section 7.3).
+
+Two webs interfere when they are simultaneously live somewhere (same
+register class only — the int and fp files are separate colouring problems).
+The reallocator later *augments* this graph: profile-suggested live-range
+merges become coalesce groups, and last-value reuses add exclusivity edges
+against every definition in the enclosing loop.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Set
+
+from .webs import Web
+
+
+def build_interference(webs: List[Web]) -> Dict[int, Set[int]]:
+    """Adjacency sets keyed by web index."""
+    adjacency: Dict[int, Set[int]] = {web.index: set() for web in webs}
+    # Index webs by pc for the sparse overlap test.
+    by_pc: Dict[int, List[Web]] = {}
+    for web in webs:
+        for pc in web.live_pcs:
+            by_pc.setdefault(pc, []).append(web)
+    for cohabitants in by_pc.values():
+        for i, a in enumerate(cohabitants):
+            for b in cohabitants[i + 1 :]:
+                if a.kind == b.kind and a.index != b.index:
+                    adjacency[a.index].add(b.index)
+                    adjacency[b.index].add(a.index)
+    return adjacency
+
+
+def interferes(adjacency: Dict[int, Set[int]], a: int, b: int) -> bool:
+    return b in adjacency.get(a, ())

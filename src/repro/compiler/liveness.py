@@ -1,0 +1,128 @@
+"""Per-procedure liveness dataflow.
+
+Definitions and uses follow the calling convention the paper assumes in
+Section 7.3: *all non-volatile registers are live at procedure entrance and
+exit, and each procedure call uses all argument registers*.  Concretely:
+
+* ``jsr``  — explicitly defines its link register; implicitly *uses* the
+  argument registers (int and fp) and the stack pointer, and implicitly
+  *defines* every volatile register (the callee may clobber them).
+* ``ret`` / ``jmp`` / ``halt`` (procedure exits) — implicitly use every
+  non-volatile register plus the stack pointer.
+* procedure entry — implicitly defines every register (arguments,
+  caller-saved garbage, callee-saved values all "arrive" here).
+
+Implicit defs/uses are what pins boundary-crossing webs to their original
+registers during reallocation.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, FrozenSet, List, Set, Tuple
+
+from ..isa.instructions import Instruction
+from ..isa.opcodes import OpKind
+from ..isa.program import Procedure, Program
+from ..isa.registers import (
+    ARG_REGS,
+    CALLEE_SAVED_FP,
+    CALLEE_SAVED_INT,
+    F,
+    FP_ARG_REGS,
+    R,
+    STACK_POINTER,
+    Reg,
+    is_volatile,
+)
+
+_ALL_REGS: Tuple[Reg, ...] = tuple(r for r in R if not r.is_zero) + tuple(f for f in F if not f.is_zero)
+_VOLATILES: Tuple[Reg, ...] = tuple(r for r in _ALL_REGS if is_volatile(r))
+_NONVOLATILES: Tuple[Reg, ...] = tuple(r for r in _ALL_REGS if not is_volatile(r))
+_CALL_USES: FrozenSet[Reg] = frozenset(ARG_REGS) | frozenset(FP_ARG_REGS) | {STACK_POINTER}
+_EXIT_USES: FrozenSet[Reg] = frozenset(_NONVOLATILES) | {STACK_POINTER}
+
+
+def explicit_defs(inst: Instruction) -> Tuple[Reg, ...]:
+    dst = inst.writes
+    return (dst,) if dst is not None else ()
+
+
+def explicit_uses(inst: Instruction) -> Tuple[Reg, ...]:
+    return tuple(r for r in inst.reads if not r.is_zero)
+
+
+def defs_and_uses(inst: Instruction) -> Tuple[Set[Reg], Set[Reg]]:
+    """(defs, uses) including calling-convention implicit effects."""
+    defs = set(explicit_defs(inst))
+    uses = set(explicit_uses(inst))
+    if inst.op.kind is OpKind.CALL:
+        uses |= _CALL_USES
+        defs |= set(_VOLATILES)
+    elif inst.op.kind in (OpKind.INDIRECT, OpKind.HALT):
+        uses |= _EXIT_USES
+    return defs, uses
+
+
+@dataclass
+class LivenessInfo:
+    """Liveness facts for one procedure, indexed by pc."""
+
+    proc: Procedure
+    live_in: Dict[int, FrozenSet[Reg]]
+    live_out: Dict[int, FrozenSet[Reg]]
+
+    def is_live_in(self, pc: int, reg: Reg) -> bool:
+        return reg in self.live_in[pc]
+
+    def is_live_out(self, pc: int, reg: Reg) -> bool:
+        return reg in self.live_out[pc]
+
+
+def compute_liveness(program: Program, proc: Procedure) -> LivenessInfo:
+    """Backward may-liveness over the procedure CFG, to instruction grain."""
+    blocks = program.basic_blocks(proc)
+    by_start = {b.start: b for b in blocks}
+
+    # Per-block gen (upward-exposed uses) and kill (defs).
+    gen: Dict[int, Set[Reg]] = {}
+    kill: Dict[int, Set[Reg]] = {}
+    for block in blocks:
+        g: Set[Reg] = set()
+        k: Set[Reg] = set()
+        for pc in block.pcs():
+            defs, uses = defs_and_uses(program[pc])
+            g |= uses - k
+            k |= defs
+        gen[block.start] = g
+        kill[block.start] = k
+
+    # Blocks with no successors are procedure exits; their live-out is the
+    # convention's exit set (already modelled as uses of the exit instruction,
+    # so the boundary set here is empty — the exit instruction generates it).
+    block_live_in: Dict[int, Set[Reg]] = {b.start: set() for b in blocks}
+    block_live_out: Dict[int, Set[Reg]] = {b.start: set() for b in blocks}
+    changed = True
+    while changed:
+        changed = False
+        for block in reversed(blocks):
+            out: Set[Reg] = set()
+            for succ in block.successors:
+                out |= block_live_in[succ]
+            new_in = gen[block.start] | (out - kill[block.start])
+            if out != block_live_out[block.start] or new_in != block_live_in[block.start]:
+                block_live_out[block.start] = out
+                block_live_in[block.start] = new_in
+                changed = True
+
+    # Instruction-grain facts by walking each block backward once.
+    live_in: Dict[int, FrozenSet[Reg]] = {}
+    live_out: Dict[int, FrozenSet[Reg]] = {}
+    for block in blocks:
+        live: Set[Reg] = set(block_live_out[block.start])
+        for pc in reversed(list(block.pcs())):
+            live_out[pc] = frozenset(live)
+            defs, uses = defs_and_uses(program[pc])
+            live = (live - defs) | uses
+            live_in[pc] = frozenset(live)
+    return LivenessInfo(proc=proc, live_in=live_in, live_out=live_out)

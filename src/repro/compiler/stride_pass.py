@@ -1,0 +1,105 @@
+"""Compiler-created stride predictability (paper Section 3, "Et Cetera").
+
+    "Stride prediction can be accomplished with the insertion of an add
+    instruction."
+
+For each profiled instruction whose results advance by a constant delta,
+this pass:
+
+1. picks a *shadow register* ``S`` of the destination's class that the
+   enclosing procedure never touches,
+2. inserts ``add S, D, #delta`` immediately after the instruction (so ``S``
+   always holds the value the *next* execution will produce), and
+3. records a dead-register hint ``pc -> S`` in the profile lists, exactly as
+   if the profiler had discovered the correlation itself.
+
+Dynamic RVP with the dead list then predicts the strided instruction from
+``S`` with the usual PC-indexed confidence counters — no stride fields, no
+value table; the stride lives in ordinary architectural state.  The inserted
+add is real code and pays real fetch/execute costs, which is the trade the
+paper's sentence implies.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Set, Tuple
+
+from ..isa.instructions import Instruction
+from ..isa.opcodes import opcode
+from ..isa.program import Procedure, Program
+from ..isa.registers import ALLOCATABLE_FP, ALLOCATABLE_INT, Reg
+from ..profiling.lists import DeadHint, ProfileLists
+from .insertion import insert_after
+
+
+@dataclass
+class StridePassReport:
+    attempted: int = 0
+    applied: int = 0
+    no_free_register: int = 0
+    not_writable: int = 0
+
+
+def _registers_touched(program: Program, proc: Procedure) -> Set[Reg]:
+    touched: Set[Reg] = set()
+    for pc in range(proc.start, proc.end):
+        inst = program[pc]
+        for reg in (inst.dst, inst.src1, inst.src2):
+            if reg is not None:
+                touched.add(reg)
+    return touched
+
+
+def apply_stride_pass(
+    program: Program,
+    strides: Dict[int, int],
+    lists: Optional[ProfileLists] = None,
+) -> Tuple[Program, ProfileLists, StridePassReport]:
+    """Insert shadow-stride adds for the given ``pc -> delta`` map.
+
+    Returns ``(new_program, new_lists, report)``: the transformed program and
+    a profile-lists object whose pcs are remapped to it, with the new stride
+    hints added.  The input ``lists`` (if any) is not modified.
+    """
+    report = StridePassReport()
+    insertions: Dict[int, List[Instruction]] = {}
+    shadow_of: Dict[int, Reg] = {}
+    free_by_proc: Dict[str, List[Reg]] = {}
+
+    for pc, delta in sorted(strides.items()):
+        report.attempted += 1
+        inst = program[pc]
+        dst = inst.writes
+        if dst is None or dst.is_fp:
+            # FP strides would need an immediate-form fadd the ISA does not
+            # define (real ISAs have no fp-immediate adds either); the
+            # transformation targets integer induction values.
+            report.not_writable += 1
+            continue
+        proc = program.procedure_of(pc)
+        if proc.name not in free_by_proc:
+            touched = _registers_touched(program, proc)
+            free_by_proc[proc.name] = [reg for reg in ALLOCATABLE_INT if reg not in touched]
+        free = free_by_proc[proc.name]
+        if not free:
+            report.no_free_register += 1
+            continue
+        shadow = free.pop(0)
+        shadow_of[pc] = shadow
+        insertions[pc] = [Instruction(op=opcode("add"), dst=shadow, src1=dst, imm=delta)]
+        report.applied += 1
+
+    new_program, pc_map = insert_after(program, insertions, name=f"{program.name}+stride")
+
+    new_lists = ProfileLists(threshold=lists.threshold if lists else 0.8)
+    if lists is not None:
+        new_lists.same = {pc_map[pc] for pc in lists.same if pc in pc_map}
+        new_lists.dead = {pc_map[pc]: hint for pc, hint in lists.dead.items() if pc in pc_map}
+        new_lists.live = {pc_map[pc]: hint for pc, hint in lists.live.items() if pc in pc_map}
+        new_lists.last_value = {pc_map[pc] for pc in lists.last_value if pc in pc_map}
+    for pc, shadow in shadow_of.items():
+        if pc in pc_map and pc_map[pc] not in new_lists.dead:
+            new_lists.dead[pc_map[pc]] = DeadHint(reg=shadow, producer_pc=pc_map[pc] + 1)
+            new_lists.same.discard(pc_map[pc])
+    return new_program, new_lists, report

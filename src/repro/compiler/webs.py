@@ -1,0 +1,249 @@
+"""Webs (du-chain unions): the allocation units of the Chaitin allocator.
+
+A *web* is the maximal set of definitions and uses of one architectural
+register connected through reaching definitions — the unit that can be
+renamed to a different register without changing program semantics.  The
+Section 7.3 reallocator merges webs ("combine the live ranges") to realise
+dead-register reuse, so we need real webs, not whole-register live ranges.
+
+Implicit definitions (procedure entry, call clobbers) and implicit uses
+(call argument registers, procedure-exit non-volatiles) participate in web
+construction and mark their webs *fixed*: those values cross a convention
+boundary and must keep their original register.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Set, Tuple
+
+from ..isa.program import Procedure, Program
+from ..isa.registers import ALLOCATABLE_FP, ALLOCATABLE_INT, Reg
+from .liveness import LivenessInfo, defs_and_uses, explicit_defs, explicit_uses
+
+_ALLOCATABLE = set(ALLOCATABLE_INT) | set(ALLOCATABLE_FP)
+
+
+@dataclass
+class Web:
+    """One allocation unit."""
+
+    index: int
+    reg: Reg
+    def_pcs: Set[int] = field(default_factory=set)  # explicit defs
+    use_sites: Set[Tuple[int, str]] = field(default_factory=set)  # (pc, slot)
+    live_pcs: Set[int] = field(default_factory=set)
+    fixed: bool = False  # must keep its original register
+
+    @property
+    def kind(self) -> str:
+        return self.reg.kind
+
+
+class _UnionFind:
+    def __init__(self) -> None:
+        self._parent: Dict[int, int] = {}
+
+    def add(self, item: int) -> None:
+        self._parent.setdefault(item, item)
+
+    def find(self, item: int) -> int:
+        root = item
+        while self._parent[root] != root:
+            root = self._parent[root]
+        while self._parent[item] != root:
+            self._parent[item], item = root, self._parent[item]
+        return root
+
+    def union(self, a: int, b: int) -> None:
+        ra, rb = self.find(a), self.find(b)
+        if ra != rb:
+            self._parent[rb] = ra
+
+
+@dataclass
+class WebAnalysis:
+    """Webs of one procedure plus operand resolution maps."""
+
+    proc: Procedure
+    webs: List[Web]
+    #: (pc, slot) -> web index, for slots 'src1'/'src2'; dst slot is 'dst'.
+    slot_web: Dict[Tuple[int, str], int]
+
+    def web_of_def(self, pc: int) -> Optional[Web]:
+        index = self.slot_web.get((pc, "dst"))
+        return self.webs[index] if index is not None else None
+
+    def web_of_use(self, pc: int, slot: str) -> Optional[Web]:
+        index = self.slot_web.get((pc, slot))
+        return self.webs[index] if index is not None else None
+
+
+def build_webs(program: Program, proc: Procedure, liveness: LivenessInfo) -> WebAnalysis:
+    """Reaching-definitions web construction for one procedure."""
+    # --- enumerate definitions -------------------------------------------
+    # def id -> (pc or None for entry, reg, implicit?)
+    defs: List[Tuple[Optional[int], Reg, bool]] = []
+
+    def new_def(pc: Optional[int], reg: Reg, implicit: bool) -> int:
+        defs.append((pc, reg, implicit))
+        return len(defs) - 1
+
+    entry_def: Dict[Reg, int] = {}
+
+    def entry_def_of(reg: Reg) -> int:
+        if reg not in entry_def:
+            entry_def[reg] = new_def(None, reg, True)
+        return entry_def[reg]
+
+    # Pre-create explicit/implicit defs per pc so ids are stable.
+    code_defs: Dict[int, Dict[Reg, Tuple[int, bool]]] = {}
+    for pc in range(proc.start, proc.end):
+        inst = program[pc]
+        all_defs, _ = defs_and_uses(inst)
+        explicit = set(explicit_defs(inst))
+        per_pc: Dict[Reg, Tuple[int, bool]] = {}
+        for reg in all_defs:
+            implicit = reg not in explicit
+            per_pc[reg] = (new_def(pc, reg, implicit), implicit)
+        code_defs[pc] = per_pc
+
+    # --- reaching definitions dataflow (block granularity) ---------------
+    blocks = program.basic_blocks(proc)
+    preds: Dict[int, List[int]] = {b.start: [] for b in blocks}
+    for block in blocks:
+        for succ in block.successors:
+            preds[succ].append(block.start)
+
+    def transfer(state: Dict[Reg, Set[int]], pc: int) -> None:
+        for reg, (def_id, _implicit) in code_defs[pc].items():
+            state[reg] = {def_id}
+
+    block_in: Dict[int, Dict[Reg, Set[int]]] = {}
+    block_out: Dict[int, Dict[Reg, Set[int]]] = {}
+    for block in blocks:
+        block_in[block.start] = {}
+        block_out[block.start] = {}
+    # Entry block starts with entry defs for every register ever referenced.
+    changed = True
+    while changed:
+        changed = False
+        for block in blocks:
+            state: Dict[Reg, Set[int]] = {}
+            if block.start == proc.start:
+                pass  # entry defs are materialised lazily on lookup
+            for p in preds[block.start]:
+                for reg, ids in block_out[p].items():
+                    state.setdefault(reg, set()).update(ids)
+            if state != block_in[block.start]:
+                block_in[block.start] = {r: set(s) for r, s in state.items()}
+                changed = True
+            work = {r: set(s) for r, s in block_in[block.start].items()}
+            for pc in block.pcs():
+                transfer(work, pc)
+            if work != block_out[block.start]:
+                block_out[block.start] = work
+                changed = True
+
+    def reaching(state: Dict[Reg, Set[int]], reg: Reg, at_entry_block: bool) -> Set[int]:
+        ids = state.get(reg)
+        if not ids:
+            # No def on some path: the value comes from procedure entry.
+            return {entry_def_of(reg)}
+        return ids
+
+    # --- union defs through uses ------------------------------------------
+    uf = _UnionFind()
+    for def_id in range(len(defs)):
+        uf.add(def_id)
+    # entry defs may be created during use resolution; add lazily via helper
+    use_webs: Dict[Tuple[int, str], Set[int]] = {}
+    implicit_use_defs: Set[int] = set()
+
+    for block in blocks:
+        state = {r: set(s) for r, s in block_in[block.start].items()}
+        at_entry = block.start == proc.start
+        for pc in block.pcs():
+            inst = program[pc]
+            _, all_uses = defs_and_uses(inst)
+            explicit = list(explicit_uses(inst))
+            slots: List[Tuple[str, Reg]] = []
+            if inst.src1 is not None and not inst.src1.is_zero:
+                slots.append(("src1", inst.src1))
+            if inst.src2 is not None and not inst.src2.is_zero:
+                slots.append(("src2", inst.src2))
+            for slot, reg in slots:
+                ids = reaching(state, reg, at_entry)
+                for def_id in ids:
+                    uf.add(def_id)
+                use_webs[(pc, slot)] = set(ids)
+                first = next(iter(ids))
+                for other in ids:
+                    uf.union(first, other)
+            for reg in all_uses - set(r for _, r in slots):
+                # Implicit use (call args, exit non-volatiles): union and pin.
+                ids = reaching(state, reg, at_entry)
+                for def_id in ids:
+                    uf.add(def_id)
+                    implicit_use_defs.add(def_id)
+                first = next(iter(ids))
+                for other in ids:
+                    uf.union(first, other)
+            transfer(state, pc)
+
+    # --- materialise webs ---------------------------------------------------
+    root_to_web: Dict[int, int] = {}
+    webs: List[Web] = []
+    for def_id, (pc, reg, implicit) in enumerate(defs):
+        root = uf.find(def_id)
+        if root not in root_to_web:
+            root_to_web[root] = len(webs)
+            webs.append(Web(index=len(webs), reg=reg))
+        web = webs[root_to_web[root]]
+        if pc is not None and not implicit:
+            web.def_pcs.add(pc)
+        if implicit or pc is None:
+            web.fixed = True
+    for def_id in implicit_use_defs:
+        webs[root_to_web[uf.find(def_id)]].fixed = True
+    for web in webs:
+        if web.reg not in _ALLOCATABLE:
+            web.fixed = True
+
+    slot_web: Dict[Tuple[int, str], int] = {}
+    for (pc, slot), ids in use_webs.items():
+        web = webs[root_to_web[uf.find(next(iter(ids)))]]
+        slot_web[(pc, slot)] = web.index
+        web.use_sites.add((pc, slot))
+    for pc in range(proc.start, proc.end):
+        inst = program[pc]
+        dst = inst.writes
+        if dst is None:
+            continue
+        def_id, implicit = code_defs[pc][dst]
+        web = webs[root_to_web[uf.find(def_id)]]
+        if not implicit:
+            slot_web[(pc, "dst")] = web.index
+
+    # --- live ranges ---------------------------------------------------------
+    # A web is live at pc if its register is live-in and one of the web's defs
+    # reaches pc.  Reuse the block dataflow to find the reaching web per pc.
+    for block in blocks:
+        state = {r: set(s) for r, s in block_in[block.start].items()}
+        for pc in block.pcs():
+            live = liveness.live_in[pc]
+            for reg in live:
+                ids = state.get(reg)
+                if not ids:
+                    if reg in entry_def:
+                        ids = {entry_def[reg]}
+                    else:
+                        continue
+                for def_id in ids:
+                    webs[root_to_web[uf.find(def_id)]].live_pcs.add(pc)
+            transfer(state, pc)
+    # Include def points so two defs at the same point conflict.
+    for web in webs:
+        web.live_pcs |= web.def_pcs
+
+    return WebAnalysis(proc=proc, webs=webs, slot_web=slot_web)

@@ -1,0 +1,16 @@
+"""High-level experiment API: named configurations and result tables."""
+
+from .experiment import CONFIG_NAMES, ExperimentResult, ExperimentRunner
+from .results import ResultTable
+from .sweep import render_sweep, speedup_series, sweep, sweep_machine
+
+__all__ = [
+    "CONFIG_NAMES",
+    "ExperimentResult",
+    "ExperimentRunner",
+    "ResultTable",
+    "render_sweep",
+    "speedup_series",
+    "sweep",
+    "sweep_machine",
+]

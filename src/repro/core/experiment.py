@@ -1,0 +1,235 @@
+"""High-level experiment runner: the paper's named configurations.
+
+One :class:`ExperimentRunner` wraps one workload and provides every
+configuration the paper evaluates, by name:
+
+=====================  =====================================================
+``no_predict``         baseline, no value prediction
+``lvp`` / ``lvp_all``  1K-entry tagged last-value table (loads / all insts)
+``grp`` / ``grp_all``  Gabbay & Mendelson register predictor
+``srvp_same``          static RVP, loads with existing same-register reuse
+``srvp_dead``          + dead-register correlation (profile-guided)
+``srvp_live``          + live-register correlation
+``srvp_live_lv``       + last-value reallocation
+``drvp``               dynamic RVP, loads only, no compiler assistance
+``drvp_dead``          loads, dead-register hints
+``drvp_dead_lv``       loads, dead + last-value hints
+``drvp_all``           dynamic RVP, all instructions
+``drvp_all_dead``      all instructions, dead hints
+``drvp_all_dead_lv``   all instructions, dead + last-value hints
+``drvp_all_realloc``   Section 7.3: *realistic* reallocation — the program is
+                       transformed by the graph-colouring reallocator, then
+                       plain ``drvp_all`` runs with no hints at all
+=====================  =====================================================
+
+Profiles (the four lists and the critical-path profile) are always collected
+on the **train** input and applied to runs on the **ref** input, like the
+paper (Section 6).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Tuple
+
+from ..compiler.marking import mark_static_rvp
+from ..compiler.realloc import ReallocReport, reallocate
+from ..isa.program import Program
+from ..profiling.critpath import critical_path_profile
+from ..profiling.lists import ProfileLists
+from ..profiling.reuse import ReuseProfile
+from ..sim.functional import run_program
+from ..sim.trace import TraceRecord
+from ..uarch.config import MachineConfig, table1_config
+from ..uarch.pipeline import simulate
+from ..uarch.recovery import RecoveryScheme
+from ..uarch.stats import SimStats
+from ..vp.base import NoPredictor, ValuePredictor
+from ..vp.context import ContextPredictor
+from ..vp.gabbay import GabbayRegisterPredictor
+from ..vp.lvp import LastValuePredictor
+from ..vp.memory_renaming import MemoryRenamingPredictor
+from ..vp.rvp import DynamicRVP
+from ..vp.static_rvp import StaticRVP
+from ..vp.stride import StridePredictor
+from ..workloads.base import Workload
+from ..workloads.suite import make_workload
+
+CONFIG_NAMES = (
+    "no_predict",
+    "lvp",
+    "lvp_all",
+    "grp",
+    "grp_all",
+    "srvp_same",
+    "srvp_dead",
+    "srvp_live",
+    "srvp_live_lv",
+    "drvp",
+    "drvp_dead",
+    "drvp_dead_lv",
+    "drvp_all",
+    "drvp_all_dead",
+    "drvp_all_dead_lv",
+    "drvp_all_realloc",
+    # Extended baselines the paper cites but excludes from its figures
+    # (storage-heavier schemes; see repro.vp.stride / .memory_renaming).
+    "stride",
+    "stride_all",
+    "memren",
+    "context",
+    "context_all",
+)
+
+
+@dataclass
+class ExperimentResult:
+    workload: str
+    config: str
+    recovery: str
+    stats: SimStats
+
+    @property
+    def ipc(self) -> float:
+        return self.stats.ipc
+
+
+class ExperimentRunner:
+    """Profiles once, then runs any number of named configurations."""
+
+    def __init__(
+        self,
+        workload: str,
+        scale: float = 1.0,
+        machine: Optional[MachineConfig] = None,
+        max_instructions: int = 60_000,
+        threshold: float = 0.8,
+    ) -> None:
+        self.workload: Workload = make_workload(workload, scale=scale)
+        self.machine = machine or table1_config()
+        self.max_instructions = max_instructions
+        self.threshold = threshold
+        self._train_profile: Optional[ReuseProfile] = None
+        self._critical = None
+        self._lists: Dict[Tuple[float, bool], ProfileLists] = {}
+        self._traces: Dict[str, List[TraceRecord]] = {}
+        self._programs: Dict[str, Program] = {}
+        self._realloc_report: Optional[ReallocReport] = None
+
+    # ------------------------------------------------------------------
+    # Profiling on the train input
+    # ------------------------------------------------------------------
+    def train_profile(self) -> ReuseProfile:
+        if self._train_profile is None:
+            program, memory = self.workload.build("train")
+            result = run_program(program, memory=memory, max_instructions=self.max_instructions, collect_trace=True)
+            self._train_profile = ReuseProfile.from_trace(result.trace)
+            self._critical = critical_path_profile(result.trace)
+        return self._train_profile
+
+    def profile_lists(self, threshold: Optional[float] = None, loads_only: bool = False) -> ProfileLists:
+        threshold = threshold if threshold is not None else self.threshold
+        key = (threshold, loads_only)
+        if key not in self._lists:
+            self._lists[key] = self.train_profile().profile_lists(threshold, loads_only=loads_only)
+        return self._lists[key]
+
+    # ------------------------------------------------------------------
+    # Program variants and their ref traces
+    # ------------------------------------------------------------------
+    def program_variant(self, variant: str, threshold: Optional[float] = None) -> Program:
+        """'base', 'srvp_<level>' (marked) or 'realloc' (transformed)."""
+        key = variant if threshold is None else f"{variant}@{threshold}"
+        if key in self._programs:
+            return self._programs[key]
+        base = self.workload.program
+        if variant == "base":
+            program = base
+        elif variant.startswith("srvp_"):
+            level = variant[len("srvp_") :]
+            lists = self.profile_lists(threshold, loads_only=True)
+            program = mark_static_rvp(base, lists, level)
+        elif variant == "realloc":
+            self.train_profile()
+            lists = self.profile_lists(threshold, loads_only=False)
+            program, self._realloc_report = reallocate(base, lists, self._critical)
+        else:
+            raise ValueError(f"unknown program variant {variant!r}")
+        self._programs[key] = program
+        return program
+
+    def ref_trace(self, variant: str = "base", threshold: Optional[float] = None) -> List[TraceRecord]:
+        key = variant if threshold is None else f"{variant}@{threshold}"
+        if key not in self._traces:
+            program = self.program_variant(variant, threshold)
+            memory = self.workload.memory("ref")
+            result = run_program(program, memory=memory, max_instructions=self.max_instructions, collect_trace=True)
+            self._traces[key] = result.trace
+        return self._traces[key]
+
+    @property
+    def realloc_report(self) -> Optional[ReallocReport]:
+        return self._realloc_report
+
+    # ------------------------------------------------------------------
+    # Named configurations
+    # ------------------------------------------------------------------
+    def _build(self, config: str, threshold: Optional[float]) -> Tuple[str, ValuePredictor]:
+        """(program variant, predictor) for a configuration name."""
+        loads = self.profile_lists(threshold, loads_only=True)
+        all_lists = self.profile_lists(threshold, loads_only=False)
+        if config == "no_predict":
+            return "base", NoPredictor()
+        if config == "lvp":
+            return "base", LastValuePredictor(loads_only=True)
+        if config == "lvp_all":
+            return "base", LastValuePredictor(loads_only=False)
+        if config == "grp":
+            return "base", GabbayRegisterPredictor(loads_only=True)
+        if config == "grp_all":
+            return "base", GabbayRegisterPredictor(loads_only=False)
+        if config.startswith("srvp_"):
+            level = config[len("srvp_") :]
+            flags = {
+                "same": {},
+                "dead": {"use_dead": True},
+                "live": {"use_dead": True, "use_live": True},
+                "live_lv": {"use_dead": True, "use_live": True, "use_lv": True},
+            }[level]
+            return config, StaticRVP(lists=loads, name=config, **flags)
+        if config == "drvp":
+            return "base", DynamicRVP(loads_only=True)
+        if config == "drvp_dead":
+            return "base", DynamicRVP(loads_only=True, lists=loads, use_dead=True)
+        if config == "drvp_dead_lv":
+            return "base", DynamicRVP(loads_only=True, lists=loads, use_dead=True, use_lv=True)
+        if config == "drvp_all":
+            return "base", DynamicRVP(loads_only=False)
+        if config == "drvp_all_dead":
+            return "base", DynamicRVP(loads_only=False, lists=all_lists, use_dead=True)
+        if config == "drvp_all_dead_lv":
+            return "base", DynamicRVP(loads_only=False, lists=all_lists, use_dead=True, use_lv=True)
+        if config == "drvp_all_realloc":
+            return "realloc", DynamicRVP(loads_only=False, name="drvp_all_realloc")
+        if config == "stride":
+            return "base", StridePredictor(loads_only=True)
+        if config == "stride_all":
+            return "base", StridePredictor(loads_only=False)
+        if config == "memren":
+            return "base", MemoryRenamingPredictor()
+        if config == "context":
+            return "base", ContextPredictor(loads_only=True)
+        if config == "context_all":
+            return "base", ContextPredictor(loads_only=False)
+        raise ValueError(f"unknown configuration {config!r}; choose from {CONFIG_NAMES}")
+
+    def run(
+        self,
+        config: str,
+        recovery: RecoveryScheme = RecoveryScheme.SELECTIVE,
+        threshold: Optional[float] = None,
+    ) -> ExperimentResult:
+        variant, predictor = self._build(config, threshold)
+        trace = self.ref_trace(variant, threshold if variant != "base" else None)
+        stats = simulate(trace, predictor, self.machine, recovery)
+        return ExperimentResult(self.workload.name, config, recovery.value, stats)

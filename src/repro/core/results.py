@@ -1,0 +1,107 @@
+"""Result tables: the shapes the paper's figures print.
+
+:class:`ResultTable` accumulates (workload × configuration) results and
+renders the rows/series each figure reports — IPC per program (Figures 3-4)
+or speedup over no-prediction per program plus the arithmetic-mean bar the
+paper labels "average" (Figures 5, 6, 8), and the coverage/accuracy rows of
+Table 2.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Optional, Sequence
+
+from .experiment import ExperimentResult
+
+
+class ResultTable:
+    """(workload, config) -> ExperimentResult with figure-style rendering."""
+
+    def __init__(self, baseline: str = "no_predict") -> None:
+        self.baseline = baseline
+        self._cells: Dict[str, Dict[str, ExperimentResult]] = {}
+        self._workload_order: List[str] = []
+        self._config_order: List[str] = []
+
+    def add(self, result: ExperimentResult) -> None:
+        row = self._cells.setdefault(result.workload, {})
+        row[result.config] = result
+        if result.workload not in self._workload_order:
+            self._workload_order.append(result.workload)
+        if result.config not in self._config_order:
+            self._config_order.append(result.config)
+
+    # ------------------------------------------------------------------
+    # Accessors
+    # ------------------------------------------------------------------
+    def ipc(self, workload: str, config: str) -> float:
+        return self._cells[workload][config].ipc
+
+    def speedup(self, workload: str, config: str) -> float:
+        base = self._cells[workload][self.baseline].ipc
+        return self._cells[workload][config].ipc / base if base else 0.0
+
+    def mean_speedup(self, config: str) -> float:
+        """Arithmetic mean of per-program speedups (the paper's 'average')."""
+        values = [self.speedup(w, config) for w in self._workload_order if config in self._cells[w]]
+        return sum(values) / len(values) if values else 0.0
+
+    def coverage(self, workload: str, config: str) -> float:
+        return self._cells[workload][config].stats.coverage
+
+    def accuracy(self, workload: str, config: str) -> float:
+        return self._cells[workload][config].stats.accuracy
+
+    @property
+    def workloads(self) -> Sequence[str]:
+        return tuple(self._workload_order)
+
+    @property
+    def configs(self) -> Sequence[str]:
+        return tuple(self._config_order)
+
+    # ------------------------------------------------------------------
+    # Rendering
+    # ------------------------------------------------------------------
+    def render_ipc(self, title: str = "") -> str:
+        """Figure 3/4-style: IPC per program per configuration."""
+        return self._render(title, self.ipc, "{:.3f}")
+
+    def render_speedup(self, title: str = "", include_average: bool = True) -> str:
+        """Figure 5/6/8-style: speedup over the baseline, plus 'average'."""
+        lines = self._render(title, self.speedup, "{:.3f}").splitlines()
+        if include_average:
+            cells = [f"{'average':10s}"]
+            for config in self._config_order:
+                cells.append(f"{self.mean_speedup(config):>{max(8, len(config))}.3f}")
+            lines.append("  ".join(cells))
+        return "\n".join(lines) + "\n"
+
+    def render_coverage(self, title: str = "") -> str:
+        """Table 2-style: '% predicted / accuracy' per cell."""
+        header = [f"{'program':10s}"] + [f"{c:>16s}" for c in self._config_order]
+        lines = [title, "  ".join(header)] if title else ["  ".join(header)]
+        for workload in self._workload_order:
+            cells = [f"{workload:10s}"]
+            for config in self._config_order:
+                result = self._cells[workload].get(config)
+                if result is None:
+                    cells.append(f"{'-':>16s}")
+                else:
+                    text = f"{100 * result.stats.coverage:.0f}/{100 * result.stats.accuracy:.1f}"
+                    cells.append(f"{text:>16s}")
+            lines.append("  ".join(cells))
+        return "\n".join(lines) + "\n"
+
+    def _render(self, title: str, cell, fmt: str) -> str:
+        header = [f"{'program':10s}"] + [f"{c:>{max(8, len(c))}s}" for c in self._config_order]
+        lines = [title, "  ".join(header)] if title else ["  ".join(header)]
+        for workload in self._workload_order:
+            cells = [f"{workload:10s}"]
+            for config in self._config_order:
+                if config in self._cells[workload]:
+                    cells.append(f"{fmt.format(cell(workload, config)):>{max(8, len(config))}s}")
+                else:
+                    cells.append(f"{'-':>{max(8, len(config))}s}")
+            lines.append("  ".join(cells))
+        return "\n".join(lines) + "\n"

@@ -1,0 +1,81 @@
+"""Parameter sweeps: vary one machine/predictor knob, measure the suite.
+
+The paper fixes its machine at Table 1 and motivates the design by IQ
+pressure, storage cost and confidence filtering.  :func:`sweep_machine` and
+:func:`sweep` make those arguments quantitative for any knob::
+
+    from dataclasses import replace
+    from repro.core.sweep import sweep_machine
+    from repro.uarch import table1_config
+
+    rows = sweep_machine(
+        "iq", [16, 32, 64],
+        lambda iq: replace(table1_config(), iq_int=iq, iq_fp=iq),
+        workloads=("m88ksim", "hydro2d"),
+        configs=("no_predict", "drvp_all_dead"),
+    )
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, Iterable, Sequence, Tuple
+
+from ..uarch.config import MachineConfig
+from ..uarch.recovery import RecoveryScheme
+from .experiment import ExperimentRunner
+
+SweepRows = Dict[Tuple[object, str, str], float]  # (point, workload, config) -> IPC
+
+
+def sweep_machine(
+    name: str,
+    points: Iterable[object],
+    make_machine: Callable[[object], MachineConfig],
+    workloads: Sequence[str],
+    configs: Sequence[str],
+    max_instructions: int = 25_000,
+    recovery: RecoveryScheme = RecoveryScheme.SELECTIVE,
+) -> SweepRows:
+    """Run ``configs`` x ``workloads`` at every sweep point; returns IPCs."""
+    rows: SweepRows = {}
+    for point in points:
+        machine = make_machine(point)
+        for workload in workloads:
+            runner = ExperimentRunner(workload, machine=machine, max_instructions=max_instructions)
+            for config in configs:
+                rows[(point, workload, config)] = runner.run(config, recovery=recovery).ipc
+    return rows
+
+
+def sweep(
+    points: Iterable[object],
+    run_point: Callable[[object], Dict[str, float]],
+) -> Dict[object, Dict[str, float]]:
+    """Generic sweep: ``run_point`` returns a metrics dict per point."""
+    return {point: run_point(point) for point in points}
+
+
+def speedup_series(rows: SweepRows, workload: str, config: str, baseline: str = "no_predict") -> Dict[object, float]:
+    """Speedup-over-baseline as a function of the sweep point."""
+    points = {point for point, w, _ in rows if w == workload}
+    return {
+        point: rows[(point, workload, config)] / rows[(point, workload, baseline)]
+        for point in sorted(points, key=str)
+        if (point, workload, baseline) in rows
+    }
+
+
+def render_sweep(rows: SweepRows, title: str = "") -> str:
+    """Simple table: one row per (workload, config), one column per point."""
+    points = sorted({p for p, _, _ in rows}, key=str)
+    pairs = sorted({(w, c) for _, w, c in rows})
+    lines = [title] if title else []
+    header = [f"{'workload/config':28s}"] + [f"{str(p):>10s}" for p in points]
+    lines.append("  ".join(header))
+    for workload, config in pairs:
+        cells = [f"{workload + '/' + config:28s}"]
+        for point in points:
+            value = rows.get((point, workload, config))
+            cells.append(f"{value:10.3f}" if value is not None else f"{'-':>10s}")
+        lines.append("  ".join(cells))
+    return "\n".join(lines) + "\n"

@@ -1,0 +1,196 @@
+"""Text assembler for the ISA.
+
+Syntax (one instruction per line; ``;`` starts a comment)::
+
+    .proc main              ; optional procedure directive
+    main:
+        li   r1, #0
+        li   r2, #100
+    loop:
+        ld   r3, 0(r2)      ; dst, offset(base)
+        add  r1, r1, r3     ; three-register ALU
+        add  r2, r2, #8     ; register-immediate ALU
+        sub  r4, r2, #900
+        bne  r4, loop
+        st   r1, 8(r2)      ; value, offset(base)
+        jsr  r26, helper
+        halt
+    .proc helper
+    helper:
+        ret  r26
+
+The grammar is exactly what :meth:`Instruction.render` emits, so
+``assemble(program.render())`` round-trips.
+"""
+
+from __future__ import annotations
+
+import re
+from typing import Dict, List, Optional, Tuple
+
+from .instructions import Instruction
+from .opcodes import OPCODES, OpKind, opcode
+from .program import Procedure, Program
+from .registers import Reg, parse_reg
+
+_MEM_RE = re.compile(r"^(-?(?:0[xX][0-9a-fA-F]+|\d+))\((\w+)\)$")
+
+
+class AssemblerError(ValueError):
+    """Raised for any syntax error, with the offending line number."""
+
+    def __init__(self, lineno: int, message: str) -> None:
+        super().__init__(f"line {lineno}: {message}")
+        self.lineno = lineno
+
+
+def _parse_operand(text: str, lineno: int):
+    """Return ('reg', Reg) | ('imm', int) | ('mem', (offset, Reg)) | ('label', str)."""
+    text = text.strip()
+    if text.startswith("#"):
+        try:
+            return "imm", int(text[1:], 0)
+        except ValueError:
+            raise AssemblerError(lineno, f"bad immediate {text!r}") from None
+    match = _MEM_RE.match(text)
+    if match:
+        offset = int(match.group(1), 0)
+        try:
+            base = parse_reg(match.group(2))
+        except ValueError as exc:
+            raise AssemblerError(lineno, str(exc)) from None
+        return "mem", (offset, base)
+    try:
+        return "reg", parse_reg(text)
+    except ValueError:
+        pass
+    if re.match(r"^[A-Za-z_.$][\w.$]*$", text):
+        return "label", text
+    raise AssemblerError(lineno, f"cannot parse operand {text!r}")
+
+
+def _split_operands(rest: str) -> List[str]:
+    return [part for part in (p.strip() for p in rest.split(",")) if part]
+
+
+def _build_instruction(op_name: str, operands: List[Tuple[str, object]], lineno: int) -> Instruction:
+    op = opcode(op_name)
+    kind = op.kind
+
+    def want(n: int) -> None:
+        if len(operands) != n:
+            raise AssemblerError(lineno, f"{op_name} expects {n} operand(s), got {len(operands)}")
+
+    def reg_at(i: int) -> Reg:
+        tag, value = operands[i]
+        if tag != "reg":
+            raise AssemblerError(lineno, f"{op_name} operand {i + 1} must be a register")
+        return value  # type: ignore[return-value]
+
+    if kind is OpKind.ALU:
+        if op_name in ("li", "fli"):
+            want(2)
+            tag, value = operands[1]
+            if tag != "imm":
+                raise AssemblerError(lineno, f"{op_name} needs an immediate second operand")
+            return Instruction(op=op, dst=reg_at(0), imm=value)  # type: ignore[arg-type]
+        if op_name in ("mov", "fmov", "itof", "ftoi"):
+            want(2)
+            return Instruction(op=op, dst=reg_at(0), src1=reg_at(1))
+        want(3)
+        tag, value = operands[2]
+        if tag == "reg":
+            return Instruction(op=op, dst=reg_at(0), src1=reg_at(1), src2=value)  # type: ignore[arg-type]
+        if tag == "imm":
+            return Instruction(op=op, dst=reg_at(0), src1=reg_at(1), imm=value)  # type: ignore[arg-type]
+        raise AssemblerError(lineno, f"{op_name} third operand must be register or immediate")
+
+    if kind is OpKind.LOAD:
+        want(2)
+        tag, value = operands[1]
+        if tag != "mem":
+            raise AssemblerError(lineno, f"{op_name} needs offset(base) second operand")
+        offset, base = value  # type: ignore[misc]
+        return Instruction(op=op, dst=reg_at(0), src1=base, imm=offset)
+
+    if kind is OpKind.STORE:
+        want(2)
+        tag, value = operands[1]
+        if tag != "mem":
+            raise AssemblerError(lineno, f"{op_name} needs offset(base) second operand")
+        offset, base = value  # type: ignore[misc]
+        return Instruction(op=op, src1=base, src2=reg_at(0), imm=offset)
+
+    if kind is OpKind.BRANCH:
+        want(2)
+        tag, value = operands[1]
+        if tag != "label":
+            raise AssemblerError(lineno, f"{op_name} needs a label target")
+        return Instruction(op=op, src1=reg_at(0), target=value)  # type: ignore[arg-type]
+
+    if kind is OpKind.JUMP:
+        want(1)
+        tag, value = operands[0]
+        if tag != "label":
+            raise AssemblerError(lineno, f"{op_name} needs a label target")
+        return Instruction(op=op, target=value)  # type: ignore[arg-type]
+
+    if kind is OpKind.CALL:
+        want(2)
+        tag, value = operands[1]
+        if tag != "label":
+            raise AssemblerError(lineno, f"{op_name} needs a label target")
+        return Instruction(op=op, dst=reg_at(0), target=value)  # type: ignore[arg-type]
+
+    if kind is OpKind.INDIRECT:
+        want(1)
+        return Instruction(op=op, src1=reg_at(0))
+
+    want(0)
+    return Instruction(op=op)
+
+
+def assemble(text: str, name: str = "program") -> Program:
+    """Assemble program text into a :class:`Program`."""
+    instructions: List[Instruction] = []
+    labels: Dict[str, int] = {}
+    proc_marks: List[Tuple[str, int]] = []  # (name, start pc)
+
+    for lineno, raw_line in enumerate(text.splitlines(), start=1):
+        line = raw_line.split(";", 1)[0].strip()
+        if not line:
+            continue
+        if line.startswith(".proc"):
+            parts = line.split()
+            if len(parts) != 2:
+                raise AssemblerError(lineno, ".proc needs exactly one name")
+            proc_marks.append((parts[1], len(instructions)))
+            continue
+        while line.endswith(":") or ":" in line.split()[0]:
+            label, _, line = line.partition(":")
+            label = label.strip()
+            if not re.match(r"^[A-Za-z_.$][\w.$]*$", label):
+                raise AssemblerError(lineno, f"bad label {label!r}")
+            if label in labels:
+                raise AssemblerError(lineno, f"duplicate label {label!r}")
+            labels[label] = len(instructions)
+            line = line.strip()
+            if not line:
+                break
+        if not line:
+            continue
+        parts = line.split(None, 1)
+        op_name = parts[0].lower()
+        if op_name not in OPCODES:
+            raise AssemblerError(lineno, f"unknown opcode {op_name!r}")
+        operand_text = parts[1] if len(parts) > 1 else ""
+        operands = [_parse_operand(tok, lineno) for tok in _split_operands(operand_text)]
+        instructions.append(_build_instruction(op_name, operands, lineno))
+
+    procedures: Optional[List[Procedure]] = None
+    if proc_marks:
+        procedures = []
+        for i, (proc_name, start) in enumerate(proc_marks):
+            end = proc_marks[i + 1][1] if i + 1 < len(proc_marks) else len(instructions)
+            procedures.append(Procedure(proc_name, start, end))
+    return Program(instructions, labels, name, procedures)

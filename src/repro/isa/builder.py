@@ -1,0 +1,256 @@
+"""Programmatic program construction.
+
+:class:`ProgramBuilder` is the main authoring interface used by the workload
+suite and the test suite.  It offers one method per opcode plus labels,
+procedure scoping and fresh-label generation::
+
+    b = ProgramBuilder("example")
+    with b.procedure("main"):
+        b.li(R[1], 0)
+        b.li(R[2], 100)
+        loop = b.fresh_label("loop")
+        b.label(loop)
+        b.ld(R[3], R[2], 0)
+        b.add(R[1], R[1], R[3])
+        b.addi(R[2], R[2], 8)
+        b.subi(R[4], R[2], 900)
+        b.bne(R[4], loop)
+        b.halt()
+    program = b.build()
+"""
+
+from __future__ import annotations
+
+from contextlib import contextmanager
+from typing import Dict, Iterator, List, Optional
+
+from .instructions import Instruction
+from .opcodes import opcode
+from .program import Procedure, Program
+from .registers import RETURN_ADDRESS, Reg
+
+
+class ProgramBuilder:
+    """Accumulates instructions, labels and procedure boundaries."""
+
+    def __init__(self, name: str = "program") -> None:
+        self.name = name
+        self._insts: List[Instruction] = []
+        self._labels: Dict[str, int] = {}
+        self._procs: List[Procedure] = []
+        self._open_proc: Optional[str] = None
+        self._open_start = 0
+        self._fresh = 0
+
+    # ------------------------------------------------------------------
+    # Structure
+    # ------------------------------------------------------------------
+    @property
+    def here(self) -> int:
+        """The pc the next emitted instruction will occupy."""
+        return len(self._insts)
+
+    def label(self, name: str) -> str:
+        """Bind ``name`` to the current position; returns the name for chaining."""
+        if name in self._labels:
+            raise ValueError(f"duplicate label {name!r}")
+        self._labels[name] = self.here
+        return name
+
+    def fresh_label(self, prefix: str = "L") -> str:
+        """Generate a unique label name (not yet bound)."""
+        self._fresh += 1
+        return f"{prefix}_{self._fresh}"
+
+    @contextmanager
+    def procedure(self, name: str) -> Iterator[None]:
+        """Scope a procedure; also binds ``name`` as a label at its entry."""
+        if self._open_proc is not None:
+            raise ValueError("procedures cannot nest")
+        self._open_proc = name
+        self._open_start = self.here
+        self.label(name)
+        try:
+            yield
+        finally:
+            self._procs.append(Procedure(name, self._open_start, self.here))
+            self._open_proc = None
+
+    def build(self) -> Program:
+        if self._open_proc is not None:
+            raise ValueError(f"procedure {self._open_proc!r} still open")
+        procs = self._procs or None
+        return Program(self._insts, self._labels, self.name, procs)
+
+    # ------------------------------------------------------------------
+    # Raw emission
+    # ------------------------------------------------------------------
+    def emit(
+        self,
+        op_name: str,
+        dst: Optional[Reg] = None,
+        src1: Optional[Reg] = None,
+        src2: Optional[Reg] = None,
+        imm: Optional[int] = None,
+        target: Optional[str] = None,
+    ) -> int:
+        """Append an instruction; returns its pc."""
+        pc = self.here
+        self._insts.append(Instruction(op=opcode(op_name), dst=dst, src1=src1, src2=src2, imm=imm, target=target))
+        return pc
+
+    # ------------------------------------------------------------------
+    # ALU sugar: three-register and register-immediate forms
+    # ------------------------------------------------------------------
+    def _alu(self, name: str, dst: Reg, a: Reg, b) -> int:
+        if isinstance(b, Reg):
+            return self.emit(name, dst=dst, src1=a, src2=b)
+        return self.emit(name, dst=dst, src1=a, imm=int(b))
+
+    def add(self, dst: Reg, a: Reg, b) -> int:
+        return self._alu("add", dst, a, b)
+
+    def sub(self, dst: Reg, a: Reg, b) -> int:
+        return self._alu("sub", dst, a, b)
+
+    def addi(self, dst: Reg, a: Reg, imm: int) -> int:
+        return self.emit("add", dst=dst, src1=a, imm=imm)
+
+    def subi(self, dst: Reg, a: Reg, imm: int) -> int:
+        return self.emit("sub", dst=dst, src1=a, imm=imm)
+
+    def mul(self, dst: Reg, a: Reg, b) -> int:
+        return self._alu("mul", dst, a, b)
+
+    def div(self, dst: Reg, a: Reg, b) -> int:
+        return self._alu("div", dst, a, b)
+
+    def rem(self, dst: Reg, a: Reg, b) -> int:
+        return self._alu("rem", dst, a, b)
+
+    def and_(self, dst: Reg, a: Reg, b) -> int:
+        return self._alu("and", dst, a, b)
+
+    def or_(self, dst: Reg, a: Reg, b) -> int:
+        return self._alu("or", dst, a, b)
+
+    def xor(self, dst: Reg, a: Reg, b) -> int:
+        return self._alu("xor", dst, a, b)
+
+    def sll(self, dst: Reg, a: Reg, b) -> int:
+        return self._alu("sll", dst, a, b)
+
+    def srl(self, dst: Reg, a: Reg, b) -> int:
+        return self._alu("srl", dst, a, b)
+
+    def sra(self, dst: Reg, a: Reg, b) -> int:
+        return self._alu("sra", dst, a, b)
+
+    def cmpeq(self, dst: Reg, a: Reg, b) -> int:
+        return self._alu("cmpeq", dst, a, b)
+
+    def cmpne(self, dst: Reg, a: Reg, b) -> int:
+        return self._alu("cmpne", dst, a, b)
+
+    def cmplt(self, dst: Reg, a: Reg, b) -> int:
+        return self._alu("cmplt", dst, a, b)
+
+    def cmple(self, dst: Reg, a: Reg, b) -> int:
+        return self._alu("cmple", dst, a, b)
+
+    def cmpult(self, dst: Reg, a: Reg, b) -> int:
+        return self._alu("cmpult", dst, a, b)
+
+    def mov(self, dst: Reg, src: Reg) -> int:
+        return self.emit("mov", dst=dst, src1=src)
+
+    def li(self, dst: Reg, imm: int) -> int:
+        return self.emit("li", dst=dst, imm=imm)
+
+    def nop(self) -> int:
+        return self.emit("nop")
+
+    # FP ALU
+    def fadd(self, dst: Reg, a: Reg, b: Reg) -> int:
+        return self.emit("fadd", dst=dst, src1=a, src2=b)
+
+    def fsub(self, dst: Reg, a: Reg, b: Reg) -> int:
+        return self.emit("fsub", dst=dst, src1=a, src2=b)
+
+    def fmul(self, dst: Reg, a: Reg, b: Reg) -> int:
+        return self.emit("fmul", dst=dst, src1=a, src2=b)
+
+    def fdiv(self, dst: Reg, a: Reg, b: Reg) -> int:
+        return self.emit("fdiv", dst=dst, src1=a, src2=b)
+
+    def fmov(self, dst: Reg, src: Reg) -> int:
+        return self.emit("fmov", dst=dst, src1=src)
+
+    def fli(self, dst: Reg, imm: int) -> int:
+        return self.emit("fli", dst=dst, imm=imm)
+
+    def itof(self, dst: Reg, src: Reg) -> int:
+        return self.emit("itof", dst=dst, src1=src)
+
+    def ftoi(self, dst: Reg, src: Reg) -> int:
+        return self.emit("ftoi", dst=dst, src1=src)
+
+    # ------------------------------------------------------------------
+    # Memory
+    # ------------------------------------------------------------------
+    def ld(self, dst: Reg, base: Reg, offset: int = 0) -> int:
+        return self.emit("ld", dst=dst, src1=base, imm=offset)
+
+    def fld(self, dst: Reg, base: Reg, offset: int = 0) -> int:
+        return self.emit("fld", dst=dst, src1=base, imm=offset)
+
+    def st(self, value: Reg, base: Reg, offset: int = 0) -> int:
+        return self.emit("st", src1=base, src2=value, imm=offset)
+
+    def fst(self, value: Reg, base: Reg, offset: int = 0) -> int:
+        return self.emit("fst", src1=base, src2=value, imm=offset)
+
+    # ------------------------------------------------------------------
+    # Control
+    # ------------------------------------------------------------------
+    def _branch(self, name: str, reg: Reg, target: str) -> int:
+        return self.emit(name, src1=reg, target=target)
+
+    def beq(self, reg: Reg, target: str) -> int:
+        return self._branch("beq", reg, target)
+
+    def bne(self, reg: Reg, target: str) -> int:
+        return self._branch("bne", reg, target)
+
+    def blt(self, reg: Reg, target: str) -> int:
+        return self._branch("blt", reg, target)
+
+    def ble(self, reg: Reg, target: str) -> int:
+        return self._branch("ble", reg, target)
+
+    def bgt(self, reg: Reg, target: str) -> int:
+        return self._branch("bgt", reg, target)
+
+    def bge(self, reg: Reg, target: str) -> int:
+        return self._branch("bge", reg, target)
+
+    def fbeq(self, reg: Reg, target: str) -> int:
+        return self._branch("fbeq", reg, target)
+
+    def fbne(self, reg: Reg, target: str) -> int:
+        return self._branch("fbne", reg, target)
+
+    def br(self, target: str) -> int:
+        return self.emit("br", target=target)
+
+    def jsr(self, target: str, link: Reg = RETURN_ADDRESS) -> int:
+        return self.emit("jsr", dst=link, target=target)
+
+    def ret(self, reg: Reg = RETURN_ADDRESS) -> int:
+        return self.emit("ret", src1=reg)
+
+    def jmp(self, reg: Reg) -> int:
+        return self.emit("jmp", src1=reg)
+
+    def halt(self) -> int:
+        return self.emit("halt")

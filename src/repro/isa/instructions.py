@@ -1,0 +1,162 @@
+"""The :class:`Instruction` static-instruction representation.
+
+Operand conventions (all fields optional depending on opcode kind):
+
+=============  =====================================================
+kind           fields used
+=============  =====================================================
+ALU            ``dst <- fn(src1, src2-or-imm)`` (``li``: ``dst <- imm``)
+LOAD           ``dst <- mem[src1 + imm]``
+STORE          ``mem[src1 + imm] <- src2``
+BRANCH         if ``cond(src1)`` goto ``target``
+JUMP           goto ``target``
+CALL           ``dst <- return_pc``; goto ``target``
+INDIRECT       goto ``src1`` (``ret``/``jmp``)
+HALT / NOP     none
+=============  =====================================================
+
+Instructions are *mutable* in exactly one controlled way: the compiler's
+register-reallocation pass rewrites register operands via
+:meth:`Instruction.rewrite_registers`, and static RVP marking swaps a load
+opcode for its ``rvp_*`` twin via :meth:`Instruction.with_opcode`.  Both
+return new objects; in-place mutation is never used, so a :class:`Program`
+can share instructions safely.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+from typing import Dict, Optional, Tuple
+
+from .opcodes import Opcode, OpKind, RVP_TWIN, opcode
+from .registers import Reg
+
+
+@dataclass(frozen=True)
+class Instruction:
+    """One static instruction.
+
+    ``pc`` is assigned when the instruction is placed into a
+    :class:`~repro.isa.program.Program` (word addressing: instruction *i* has
+    ``pc == i``).  ``target_pc`` is resolved from ``target`` at the same time.
+    """
+
+    op: Opcode
+    dst: Optional[Reg] = None
+    src1: Optional[Reg] = None
+    src2: Optional[Reg] = None
+    imm: Optional[int] = None
+    target: Optional[str] = None
+    pc: int = -1
+    target_pc: Optional[int] = None
+
+    # ------------------------------------------------------------------
+    # Structural queries
+    # ------------------------------------------------------------------
+    @property
+    def writes(self) -> Optional[Reg]:
+        """The architectural register written, or ``None``.
+
+        Writes to the hardwired-zero registers are architectural no-ops and
+        are reported as ``None``.
+        """
+        if self.op.writes_dest and self.dst is not None and not self.dst.is_zero:
+            return self.dst
+        return None
+
+    @property
+    def reads(self) -> Tuple[Reg, ...]:
+        """Architectural registers read, zero registers included."""
+        regs = []
+        if self.src1 is not None:
+            regs.append(self.src1)
+        if self.src2 is not None:
+            regs.append(self.src2)
+        return tuple(regs)
+
+    @property
+    def is_load(self) -> bool:
+        return self.op.is_load
+
+    @property
+    def is_store(self) -> bool:
+        return self.op.is_store
+
+    @property
+    def is_control(self) -> bool:
+        return self.op.is_control
+
+    @property
+    def is_conditional(self) -> bool:
+        return self.op.kind is OpKind.BRANCH
+
+    @property
+    def is_halt(self) -> bool:
+        return self.op.kind is OpKind.HALT
+
+    # ------------------------------------------------------------------
+    # Controlled rewriting (compiler passes)
+    # ------------------------------------------------------------------
+    def rewrite_registers(self, mapping: Dict[Reg, Reg]) -> "Instruction":
+        """Return a copy with every register operand passed through ``mapping``.
+
+        Registers absent from ``mapping`` are kept.  Used by the register
+        reallocator; the zero registers are never remapped.
+        """
+
+        def remap(reg: Optional[Reg]) -> Optional[Reg]:
+            if reg is None or reg.is_zero:
+                return reg
+            return mapping.get(reg, reg)
+
+        return replace(self, dst=remap(self.dst), src1=remap(self.src1), src2=remap(self.src2))
+
+    def with_opcode(self, name: str) -> "Instruction":
+        """Return a copy with a different opcode (e.g. ``ld`` -> ``rvp_ld``)."""
+        return replace(self, op=opcode(name))
+
+    def as_rvp_marked(self) -> "Instruction":
+        """Return the RVP-marked twin of a load instruction."""
+        if not self.is_load:
+            raise ValueError(f"only loads can be RVP-marked, got {self.op.name}")
+        if self.op.rvp_marked:
+            return self
+        return self.with_opcode(RVP_TWIN[self.op.name])
+
+    def without_rvp_mark(self) -> "Instruction":
+        """Strip a static RVP mark, returning the plain load."""
+        if not self.op.rvp_marked:
+            return self
+        return self.with_opcode(RVP_TWIN[self.op.name])
+
+    # ------------------------------------------------------------------
+    # Rendering
+    # ------------------------------------------------------------------
+    def render(self) -> str:
+        """Assembler text for this instruction (without any label)."""
+        name = self.op.name
+        kind = self.op.kind
+        if kind is OpKind.ALU:
+            if name in ("li", "fli"):
+                return f"{name} {self.dst}, #{self.imm}"
+            if self.src2 is not None:
+                return f"{name} {self.dst}, {self.src1}, {self.src2}"
+            if self.imm is not None:
+                return f"{name} {self.dst}, {self.src1}, #{self.imm}"
+            return f"{name} {self.dst}, {self.src1}"
+        if kind is OpKind.LOAD:
+            return f"{name} {self.dst}, {self.imm or 0}({self.src1})"
+        if kind is OpKind.STORE:
+            return f"{name} {self.src2}, {self.imm or 0}({self.src1})"
+        if kind is OpKind.BRANCH:
+            return f"{name} {self.src1}, {self.target}"
+        if kind is OpKind.JUMP:
+            return f"{name} {self.target}"
+        if kind is OpKind.CALL:
+            return f"{name} {self.dst}, {self.target}"
+        if kind is OpKind.INDIRECT:
+            return f"{name} {self.src1}"
+        return name
+
+    def __str__(self) -> str:
+        return self.render()

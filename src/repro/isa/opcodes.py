@@ -1,0 +1,225 @@
+"""Opcode table: names, operational semantics, latencies and FU classes.
+
+The ISA is a 64-bit load/store RISC.  All register values are 64-bit unsigned
+integers (``0 <= v < 2**64``); signed operations interpret them in two's
+complement.  "Floating point" opcodes operate on the FP register file but use
+integer arithmetic on the stored 64-bit patterns — value prediction only ever
+compares values for bit equality, so the numeric interpretation of FP data is
+irrelevant to every experiment in the paper (see DESIGN.md, Section 6).
+
+Each :class:`Opcode` carries:
+
+* ``kind``     — structural class used by the simulators (ALU / LOAD / ...)
+* ``fu``       — functional-unit class needed to execute it
+* ``latency``  — execute latency in cycles (memory ops add cache latency)
+* ``alu_fn``   — for ALU-like ops, the value function ``f(a, b) -> result``
+
+The RVP opcodes introduced by the paper are ``rvp_ld`` and ``rvp_fld``: loads
+statically marked for register-value prediction.  They are architecturally
+identical to ``ld``/``fld``; the pipeline treats them as always-predict.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from enum import Enum
+from typing import Callable, Dict, Optional
+
+MASK64 = (1 << 64) - 1
+SIGN_BIT = 1 << 63
+
+
+def to_signed(value: int) -> int:
+    """Interpret a 64-bit pattern as a signed integer."""
+    return value - (1 << 64) if value & SIGN_BIT else value
+
+
+def to_unsigned(value: int) -> int:
+    """Wrap a Python integer into the 64-bit unsigned domain."""
+    return value & MASK64
+
+
+class OpKind(Enum):
+    ALU = "alu"
+    LOAD = "load"
+    STORE = "store"
+    BRANCH = "branch"  # conditional, tests src1 against zero
+    JUMP = "jump"  # unconditional direct
+    CALL = "call"  # direct call, writes return address to dst
+    INDIRECT = "indirect"  # jump through register (ret / jmp)
+    HALT = "halt"
+    NOP = "nop"
+
+
+class FuClass(Enum):
+    INT = "int"
+    FP = "fp"
+    LDST = "ldst"
+    NONE = "none"
+
+
+@dataclass(frozen=True)
+class Opcode:
+    """Immutable description of one opcode."""
+
+    name: str
+    kind: OpKind
+    fu: FuClass
+    latency: int
+    alu_fn: Optional[Callable[[int, int], int]] = None
+    #: branch condition on the signed value of src1, for BRANCH opcodes
+    cond_fn: Optional[Callable[[int], bool]] = None
+    #: True for opcodes whose destination is in the FP register file
+    fp_dest: bool = False
+    #: True for the statically RVP-marked load opcodes
+    rvp_marked: bool = False
+
+    @property
+    def is_load(self) -> bool:
+        return self.kind is OpKind.LOAD
+
+    @property
+    def is_store(self) -> bool:
+        return self.kind is OpKind.STORE
+
+    @property
+    def is_mem(self) -> bool:
+        return self.kind in (OpKind.LOAD, OpKind.STORE)
+
+    @property
+    def is_control(self) -> bool:
+        return self.kind in (OpKind.BRANCH, OpKind.JUMP, OpKind.CALL, OpKind.INDIRECT)
+
+    @property
+    def writes_dest(self) -> bool:
+        return self.kind in (OpKind.ALU, OpKind.LOAD, OpKind.CALL)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"Opcode({self.name})"
+
+
+def _shift_amount(b: int) -> int:
+    return b & 63
+
+
+def _div(a: int, b: int) -> int:
+    """Signed division with the hardware convention that x/0 == 0."""
+    sa, sb = to_signed(a), to_signed(b)
+    if sb == 0:
+        return 0
+    return to_unsigned(int(sa / sb))  # truncate toward zero, like hardware
+
+
+def _rem(a: int, b: int) -> int:
+    sa, sb = to_signed(a), to_signed(b)
+    if sb == 0:
+        return 0
+    return to_unsigned(sa - int(sa / sb) * sb)
+
+
+_ALU_FNS: Dict[str, Callable[[int, int], int]] = {
+    "add": lambda a, b: (a + b) & MASK64,
+    "sub": lambda a, b: (a - b) & MASK64,
+    "mul": lambda a, b: (a * b) & MASK64,
+    "div": _div,
+    "rem": _rem,
+    "and": lambda a, b: a & b,
+    "or": lambda a, b: a | b,
+    "xor": lambda a, b: a ^ b,
+    "sll": lambda a, b: (a << _shift_amount(b)) & MASK64,
+    "srl": lambda a, b: a >> _shift_amount(b),
+    "sra": lambda a, b: to_unsigned(to_signed(a) >> _shift_amount(b)),
+    "cmpeq": lambda a, b: 1 if a == b else 0,
+    "cmpne": lambda a, b: 1 if a != b else 0,
+    "cmplt": lambda a, b: 1 if to_signed(a) < to_signed(b) else 0,
+    "cmple": lambda a, b: 1 if to_signed(a) <= to_signed(b) else 0,
+    "cmpult": lambda a, b: 1 if a < b else 0,
+    "mov": lambda a, b: a,
+    "li": lambda a, b: b,
+}
+
+_COND_FNS: Dict[str, Callable[[int], bool]] = {
+    "beq": lambda v: to_signed(v) == 0,
+    "bne": lambda v: to_signed(v) != 0,
+    "blt": lambda v: to_signed(v) < 0,
+    "ble": lambda v: to_signed(v) <= 0,
+    "bgt": lambda v: to_signed(v) > 0,
+    "bge": lambda v: to_signed(v) >= 0,
+}
+
+_INT_ALU_LATENCY = 1
+_MUL_LATENCY = 7
+_DIV_LATENCY = 20
+_FP_LATENCY = 4
+_FP_DIV_LATENCY = 12
+#: Base (L1-hit) load-use latency; cache misses add on top of this.
+LOAD_BASE_LATENCY = 2
+STORE_LATENCY = 1
+
+
+def _build_table() -> Dict[str, Opcode]:
+    table: Dict[str, Opcode] = {}
+
+    def add(op: Opcode) -> None:
+        if op.name in table:
+            raise ValueError(f"duplicate opcode {op.name}")
+        table[op.name] = op
+
+    for name, fn in _ALU_FNS.items():
+        latency = {"mul": _MUL_LATENCY, "div": _DIV_LATENCY, "rem": _DIV_LATENCY}.get(name, _INT_ALU_LATENCY)
+        add(Opcode(name, OpKind.ALU, FuClass.INT, latency, alu_fn=fn))
+
+    # FP arithmetic mirrors integer arithmetic on bit patterns (see module doc).
+    fp_ops = {
+        "fadd": ("add", _FP_LATENCY),
+        "fsub": ("sub", _FP_LATENCY),
+        "fmul": ("mul", _FP_LATENCY),
+        "fdiv": ("div", _FP_DIV_LATENCY),
+        "fmov": ("mov", _INT_ALU_LATENCY),
+        "fcmpeq": ("cmpeq", _FP_LATENCY),
+        "fcmplt": ("cmplt", _FP_LATENCY),
+        "fcmple": ("cmple", _FP_LATENCY),
+        "fli": ("li", _INT_ALU_LATENCY),
+    }
+    for name, (base, latency) in fp_ops.items():
+        add(Opcode(name, OpKind.ALU, FuClass.FP, latency, alu_fn=_ALU_FNS[base], fp_dest=True))
+
+    # Cross-file moves: itof copies an int register into an FP register and
+    # vice versa (bit-pattern copy, like Alpha itofT/ftoiT).
+    add(Opcode("itof", OpKind.ALU, FuClass.INT, _INT_ALU_LATENCY, alu_fn=_ALU_FNS["mov"], fp_dest=True))
+    add(Opcode("ftoi", OpKind.ALU, FuClass.INT, _INT_ALU_LATENCY, alu_fn=_ALU_FNS["mov"]))
+
+    add(Opcode("ld", OpKind.LOAD, FuClass.LDST, LOAD_BASE_LATENCY))
+    add(Opcode("fld", OpKind.LOAD, FuClass.LDST, LOAD_BASE_LATENCY, fp_dest=True))
+    add(Opcode("rvp_ld", OpKind.LOAD, FuClass.LDST, LOAD_BASE_LATENCY, rvp_marked=True))
+    add(Opcode("rvp_fld", OpKind.LOAD, FuClass.LDST, LOAD_BASE_LATENCY, fp_dest=True, rvp_marked=True))
+    add(Opcode("st", OpKind.STORE, FuClass.LDST, STORE_LATENCY))
+    add(Opcode("fst", OpKind.STORE, FuClass.LDST, STORE_LATENCY))
+
+    for name, fn in _COND_FNS.items():
+        add(Opcode(name, OpKind.BRANCH, FuClass.INT, _INT_ALU_LATENCY, cond_fn=fn))
+    # FP-register conditional branches (test the FP register against zero).
+    add(Opcode("fbeq", OpKind.BRANCH, FuClass.FP, _INT_ALU_LATENCY, cond_fn=_COND_FNS["beq"]))
+    add(Opcode("fbne", OpKind.BRANCH, FuClass.FP, _INT_ALU_LATENCY, cond_fn=_COND_FNS["bne"]))
+
+    add(Opcode("br", OpKind.JUMP, FuClass.INT, _INT_ALU_LATENCY))
+    add(Opcode("jsr", OpKind.CALL, FuClass.INT, _INT_ALU_LATENCY))
+    add(Opcode("jmp", OpKind.INDIRECT, FuClass.INT, _INT_ALU_LATENCY))
+    add(Opcode("ret", OpKind.INDIRECT, FuClass.INT, _INT_ALU_LATENCY))
+    add(Opcode("halt", OpKind.HALT, FuClass.NONE, 1))
+    add(Opcode("nop", OpKind.NOP, FuClass.INT, 1))
+    return table
+
+
+OPCODES: Dict[str, Opcode] = _build_table()
+
+#: Mapping from a plain load opcode to its RVP-marked twin and back.
+RVP_TWIN = {"ld": "rvp_ld", "fld": "rvp_fld", "rvp_ld": "ld", "rvp_fld": "fld"}
+
+
+def opcode(name: str) -> Opcode:
+    """Look up an opcode by name, raising ``KeyError`` with a helpful message."""
+    try:
+        return OPCODES[name]
+    except KeyError:
+        raise KeyError(f"unknown opcode {name!r}") from None

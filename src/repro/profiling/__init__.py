@@ -1,0 +1,26 @@
+"""Profiling: register reuse, deadness, last-value locality, critical path."""
+
+from .critpath import critical_path_profile
+from .deadness import NUM_REG_IDS, reg_id, resolve_deadness
+from .lists import DeadHint, HintKind, ProfileLists
+from .reuse import Fig1Stats, MAX_MATCHES, ReuseProfile, SiteStats
+from .stride import StrideProfile, StrideSite
+from .value import ValueProfile, ValueSite
+
+__all__ = [
+    "critical_path_profile",
+    "NUM_REG_IDS",
+    "reg_id",
+    "resolve_deadness",
+    "DeadHint",
+    "HintKind",
+    "ProfileLists",
+    "Fig1Stats",
+    "MAX_MATCHES",
+    "ReuseProfile",
+    "SiteStats",
+    "StrideProfile",
+    "StrideSite",
+    "ValueProfile",
+    "ValueSite",
+]

@@ -1,0 +1,65 @@
+"""Critical-path profiling (Tullsen & Calder [15], used by Section 7.3).
+
+The reallocator's third pruning heuristic ranks instructions by their
+contribution to the critical data-dependence path through the program.  We
+compute the longest dependence chain over the dynamic trace — register
+dependences plus memory dependences (load depends on the last store to the
+same address) — then walk the chain backward and count how many of each
+static instruction's dynamic instances lie on it.
+
+Instructions with zero critical-path contribution are the cheapest register
+reuses to abandon when the interference graph cannot be coloured.
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from typing import Dict, List, Optional, Sequence
+
+from ..sim.trace import TraceRecord
+from .deadness import NUM_REG_IDS, reg_id
+
+
+def critical_path_profile(trace: Sequence[TraceRecord]) -> Counter:
+    """Counter mapping static pc -> dynamic instances on the critical path."""
+    if not trace:
+        return Counter()
+
+    depth: List[int] = [0] * len(trace)
+    parent: List[Optional[int]] = [None] * len(trace)
+    reg_producer: List[Optional[int]] = [None] * NUM_REG_IDS
+    mem_producer: Dict[int, int] = {}
+
+    for i, record in enumerate(trace):
+        best_depth = 0
+        best_parent: Optional[int] = None
+
+        def consider(producer: Optional[int]) -> None:
+            nonlocal best_depth, best_parent
+            if producer is not None and depth[producer] > best_depth:
+                best_depth = depth[producer]
+                best_parent = producer
+
+        for src in record.inst.reads:
+            if not src.is_zero:
+                consider(reg_producer[reg_id(src)])
+        if record.is_load and record.addr is not None:
+            consider(mem_producer.get(record.addr))
+
+        depth[i] = best_depth + 1
+        parent[i] = best_parent
+
+        dst = record.inst.writes
+        if dst is not None and record.result is not None:
+            reg_producer[reg_id(dst)] = i
+        if record.inst.is_store and record.addr is not None:
+            mem_producer[record.addr] = i
+
+    # Walk the deepest chain backward, attributing instances to static pcs.
+    tip = max(range(len(trace)), key=lambda i: depth[i])
+    contributions: Counter = Counter()
+    node: Optional[int] = tip
+    while node is not None:
+        contributions[trace[node].pc] += 1
+        node = parent[node]
+    return contributions

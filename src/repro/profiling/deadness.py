@@ -1,0 +1,72 @@
+"""Dynamic register deadness analysis.
+
+A register is *dead* at dynamic instruction ``seq`` if its current value will
+never be read again before the register is next written (paper Section 1).
+Deadness needs future knowledge, so it is resolved with a backward pass over
+a recorded trace: walking from the end, we maintain each register's *next*
+architectural access (read or write); a register is dead at ``seq`` exactly
+when its next access at-or-after ``seq`` is a write (or there is none).
+
+The forward phases of the profilers collect *queries* — ``(seq, reg)`` pairs
+whose deadness they need — and :func:`resolve_deadness` answers all of them
+in one O(trace + queries) sweep.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Sequence, Tuple
+
+from ..isa.registers import Reg
+from ..sim.trace import TraceRecord
+
+#: Compact register id: int regs 0..31, fp regs 32..63.
+def reg_id(reg: Reg) -> int:
+    return reg.index + (0 if reg.is_int else 32)
+
+
+NUM_REG_IDS = 64
+
+
+def resolve_deadness(
+    trace: Sequence[TraceRecord],
+    queries: Iterable[Tuple[int, int]],
+) -> Dict[Tuple[int, int], bool]:
+    """Answer deadness queries against a trace.
+
+    ``queries`` are ``(seq, reg_id)`` pairs; the result maps each pair to
+    True (dead) / False (live).  Deadness at ``seq`` considers accesses by
+    instructions with sequence number >= ``seq`` — i.e. "from this
+    instruction onward, is the old value ever read before a write?".  An
+    instruction's own source reads therefore keep its source registers live
+    at its own ``seq`` (the conservative choice the register allocator
+    needs).
+    """
+    by_seq: Dict[int, List[int]] = {}
+    for seq, rid in queries:
+        by_seq.setdefault(seq, []).append(rid)
+
+    result: Dict[Tuple[int, int], bool] = {}
+    # next_access[rid]: +1 => next access is a read (live), -1 => write
+    # (dead), 0 => never accessed again (dead).
+    next_access = [0] * NUM_REG_IDS
+
+    for record in reversed(trace):
+        # Within one instruction, reads happen before the write; walking
+        # backward we therefore apply the write first, then the reads, so
+        # that by the time this record's own seq is queried both are visible
+        # with reads taking precedence.
+        dst = record.inst.writes
+        if dst is not None:
+            next_access[reg_id(dst)] = -1
+        for src in record.inst.reads:
+            if not src.is_zero:
+                next_access[reg_id(src)] = +1
+        pending = by_seq.get(record.seq)
+        if pending:
+            for rid in pending:
+                result[(record.seq, rid)] = next_access[rid] <= 0
+    # Queries whose seq was never visited (e.g. past the trace end): dead.
+    for seq, rids in by_seq.items():
+        for rid in rids:
+            result.setdefault((seq, rid), True)
+    return result

@@ -1,0 +1,239 @@
+"""Register-reuse profiling (paper Sections 1 and 5).
+
+Two-pass analysis over a functional trace:
+
+1. **Forward pass** — mirrors the architectural register file, keeps an
+   inverted index ``value -> registers currently holding it``, and for every
+   result-producing dynamic instruction records which registers already held
+   the result (excluding the destination and the hardwired zeros), who wrote
+   them, whether the destination itself held it (same-register reuse), and
+   whether the instruction's previous dynamic result matches (last-value).
+2. **Backward pass** — resolves, for every recorded match, whether the
+   matched register was *dead* at that moment (see
+   :mod:`repro.profiling.deadness`).
+
+The aggregate feeds three consumers:
+
+* the Figure 1 analysis (cumulative same / dead / any / any-or-LVP fractions
+  for loads),
+* the four profile lists of Section 5 (:class:`~repro.profiling.lists.ProfileLists`),
+* the Section 7.3 reallocator, which needs each dead-correlation's *primary
+  producer* instruction.
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Set, Tuple
+
+from ..isa.registers import F, R, Reg
+from ..sim.trace import TraceRecord
+from .deadness import NUM_REG_IDS, reg_id, resolve_deadness
+from .lists import DeadHint, ProfileLists
+
+#: Cap on per-instruction match candidates, to bound profile memory on
+#: pathological value distributions (e.g. a register file full of zeros).
+MAX_MATCHES = 12
+
+
+def _reg_from_id(rid: int) -> Reg:
+    return R[rid] if rid < 32 else F[rid - 32]
+
+
+@dataclass
+class SiteStats:
+    """Aggregated reuse statistics for one static instruction."""
+
+    pc: int
+    op_name: str
+    is_load: bool
+    count: int = 0
+    same_hits: int = 0
+    lv_hits: int = 0
+    any_hits: int = 0  # result present in some other register
+    dead_hits: Counter = field(default_factory=Counter)  # rid -> hits while dead
+    live_hits: Counter = field(default_factory=Counter)  # rid -> hits while live
+    producers: Dict[int, Counter] = field(default_factory=dict)  # rid -> Counter[pc]
+
+    def same_rate(self) -> float:
+        return self.same_hits / self.count if self.count else 0.0
+
+    def lv_rate(self) -> float:
+        return self.lv_hits / self.count if self.count else 0.0
+
+    def best_dead(self) -> Optional[Tuple[Reg, float, Optional[int]]]:
+        """Best dead-correlated register: (reg, hit rate, primary producer pc)."""
+        if not self.dead_hits or not self.count:
+            return None
+        rid, hits = self.dead_hits.most_common(1)[0]
+        producer = None
+        if rid in self.producers and self.producers[rid]:
+            producer = self.producers[rid].most_common(1)[0][0]
+        return _reg_from_id(rid), hits / self.count, producer
+
+    def best_any_reg(self) -> Optional[Tuple[Reg, float]]:
+        """Best correlated register regardless of deadness (live optimisation)."""
+        combined = self.dead_hits + self.live_hits
+        if not combined or not self.count:
+            return None
+        rid, hits = combined.most_common(1)[0]
+        return _reg_from_id(rid), hits / self.count
+
+
+@dataclass
+class Fig1Stats:
+    """Cumulative load-reuse fractions, the four bars of Figure 1."""
+
+    loads: int = 0
+    same: int = 0
+    same_or_dead: int = 0
+    any_reg: int = 0
+    any_reg_or_lvp: int = 0
+
+    def fractions(self) -> Dict[str, float]:
+        if not self.loads:
+            return {"same": 0.0, "dead": 0.0, "any": 0.0, "any_or_lvp": 0.0}
+        return {
+            "same": self.same / self.loads,
+            "dead": self.same_or_dead / self.loads,
+            "any": self.any_reg / self.loads,
+            "any_or_lvp": self.any_reg_or_lvp / self.loads,
+        }
+
+
+class ReuseProfile:
+    """Full register-reuse profile of one trace."""
+
+    def __init__(self, sites: Dict[int, SiteStats], fig1: Fig1Stats) -> None:
+        self.sites = sites
+        self.fig1 = fig1
+
+    # ------------------------------------------------------------------
+    # Construction
+    # ------------------------------------------------------------------
+    @classmethod
+    def from_trace(cls, trace: Sequence[TraceRecord]) -> "ReuseProfile":
+        sites: Dict[int, SiteStats] = {}
+        fig1 = Fig1Stats()
+
+        reg_values = [0] * NUM_REG_IDS
+        value_to_regs: Dict[int, Set[int]] = {0: set(range(NUM_REG_IDS))}
+        last_writer: List[Optional[int]] = [None] * NUM_REG_IDS
+        last_result: Dict[int, int] = {}
+
+        # (seq, pc, same, lvp, matched rids, producer pcs, is_load)
+        events: List[Tuple[int, int, bool, bool, Tuple[int, ...], Tuple[Optional[int], ...], bool]] = []
+
+        for record in trace:
+            result = record.result
+            dst = record.inst.writes
+            if result is not None:
+                pc = record.pc
+                site = sites.get(pc)
+                if site is None:
+                    site = sites[pc] = SiteStats(pc, record.op_name, record.is_load)
+                site.count += 1
+
+                same = result == record.old_dest and dst is not None
+                if same:
+                    site.same_hits += 1
+                lvp = last_result.get(pc) == result
+                if lvp:
+                    site.lv_hits += 1
+                last_result[pc] = result
+
+                holders = value_to_regs.get(result)
+                matched: Tuple[int, ...] = ()
+                if holders and dst is not None:
+                    # Only same-class registers are usable prediction sources
+                    # (an fp load cannot read its prediction from an int reg).
+                    dst_rid = reg_id(dst)
+                    lo, hi = (0, 32) if dst.is_int else (32, 64)
+                    matched = tuple(
+                        rid for rid in holders if lo <= rid < hi and rid != dst_rid and rid % 32 != 31
+                    )[:MAX_MATCHES]
+                if matched:
+                    site.any_hits += 1
+                events.append(
+                    (
+                        record.seq,
+                        pc,
+                        same,
+                        lvp,
+                        matched,
+                        tuple(last_writer[rid] for rid in matched),
+                        record.is_load,
+                    )
+                )
+
+            # Apply the architectural write to the mirrors.
+            if dst is not None and result is not None:
+                rid = reg_id(dst)
+                old = reg_values[rid]
+                if old != result:
+                    holders = value_to_regs.get(old)
+                    if holders is not None:
+                        holders.discard(rid)
+                        if not holders:
+                            del value_to_regs[old]
+                    reg_values[rid] = result
+                    value_to_regs.setdefault(result, set()).add(rid)
+                last_writer[rid] = record.pc
+
+        # Backward pass: deadness of every matched register at match time.
+        queries = {(seq, rid) for seq, _, _, _, matched, _, _ in events for rid in matched}
+        deadness = resolve_deadness(trace, queries)
+
+        for seq, pc, same, lvp, matched, producers, is_load in events:
+            site = sites[pc]
+            any_dead = False
+            for rid, producer in zip(matched, producers):
+                if deadness[(seq, rid)]:
+                    site.dead_hits[rid] += 1
+                    any_dead = True
+                    if producer is not None:
+                        site.producers.setdefault(rid, Counter())[producer] += 1
+                else:
+                    site.live_hits[rid] += 1
+            if is_load:
+                fig1.loads += 1
+                any_reg = bool(matched) or same
+                fig1.same += same
+                fig1.same_or_dead += same or any_dead
+                fig1.any_reg += any_reg
+                fig1.any_reg_or_lvp += any_reg or lvp
+        return cls(sites, fig1)
+
+    # ------------------------------------------------------------------
+    # Profile lists (Section 5)
+    # ------------------------------------------------------------------
+    def profile_lists(
+        self,
+        threshold: float = 0.8,
+        loads_only: bool = False,
+        min_count: int = 8,
+    ) -> ProfileLists:
+        """Derive the four lists at a predictability ``threshold``.
+
+        ``loads_only`` restricts candidates to load instructions (the static
+        RVP experiments); dynamic all-instruction RVP passes False.
+        ``min_count`` ignores sites executed too rarely to judge.
+        """
+        lists = ProfileLists(threshold=threshold)
+        for pc, site in self.sites.items():
+            if loads_only and not site.is_load:
+                continue
+            if site.count < min_count:
+                continue
+            if site.same_rate() >= threshold:
+                lists.same.add(pc)
+            dead = site.best_dead()
+            if dead is not None and dead[1] >= threshold:
+                lists.dead[pc] = DeadHint(reg=dead[0], producer_pc=dead[2])
+            live = site.best_any_reg()
+            if live is not None and live[1] >= threshold:
+                lists.live[pc] = DeadHint(reg=live[0], producer_pc=None)
+            if site.lv_rate() >= threshold:
+                lists.last_value.add(pc)
+        return lists

@@ -1,0 +1,85 @@
+"""Stride profiling: per-instruction constant-delta detection.
+
+Feeds the Section 3 "Et Cetera" compiler transformation ("Stride prediction
+can be accomplished with the insertion of an add instruction"): an
+instruction whose results advance by a constant delta can be made
+register-value predictable by keeping ``last_value + delta`` in a shadow
+register.  This profiler finds those instructions and their dominant deltas.
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from dataclasses import dataclass, field
+from typing import Dict, Optional, Sequence
+
+from ..isa.opcodes import MASK64, to_signed
+from ..sim.trace import TraceRecord
+
+
+@dataclass
+class StrideSite:
+    pc: int
+    op_name: str
+    is_load: bool
+    count: int = 0
+    deltas: Counter = field(default_factory=Counter)
+
+    def dominant(self) -> Optional[tuple]:
+        """(delta, rate) of the most common nonzero delta, or None."""
+        candidates = [(d, n) for d, n in self.deltas.items() if d != 0]
+        if not candidates or self.count <= 1:
+            return None
+        delta, hits = max(candidates, key=lambda item: item[1])
+        return delta, hits / (self.count - 1)
+
+
+class StrideProfile:
+    """Per-pc result deltas over one trace."""
+
+    def __init__(self) -> None:
+        self.sites: Dict[int, StrideSite] = {}
+        self._last: Dict[int, int] = {}
+
+    def observe(self, record: TraceRecord) -> None:
+        if record.result is None:
+            return
+        site = self.sites.get(record.pc)
+        if site is None:
+            site = self.sites[record.pc] = StrideSite(record.pc, record.op_name, record.is_load)
+        site.count += 1
+        previous = self._last.get(record.pc)
+        if previous is not None:
+            site.deltas[to_signed((record.result - previous) & MASK64)] += 1
+        self._last[record.pc] = record.result
+
+    @classmethod
+    def from_trace(cls, trace: Sequence[TraceRecord]) -> "StrideProfile":
+        profile = cls()
+        for record in trace:
+            profile.observe(record)
+        return profile
+
+    def strided_pcs(
+        self,
+        threshold: float = 0.8,
+        loads_only: bool = True,
+        min_count: int = 8,
+        max_delta: int = 1 << 20,
+    ) -> Dict[int, int]:
+        """pc -> dominant delta for instructions strided at ``threshold``.
+
+        ``max_delta`` filters implausible giants (wrap artifacts); deltas may
+        be negative (descending walks).
+        """
+        out: Dict[int, int] = {}
+        for pc, site in self.sites.items():
+            if site.count < min_count or (loads_only and not site.is_load):
+                continue
+            dominant = site.dominant()
+            if dominant is None:
+                continue
+            delta, rate = dominant
+            if rate >= threshold and abs(delta) <= max_delta:
+                out[pc] = delta
+        return out

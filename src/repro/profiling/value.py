@@ -1,0 +1,68 @@
+"""Standalone last-value profiling (Calder et al. [1]; Gabbay & Mendelson [5]).
+
+:class:`ValueProfile` measures, per static instruction, how often the result
+equals the previous result of the same instruction — the quantity last-value
+prediction exploits, and the paper's 80%/90% marking thresholds refer to.
+The register-reuse profiler folds the same statistic into its sites; this
+module exists for analyses and tests that only need value locality (it is a
+single cheap forward pass, no deadness resolution).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Optional, Sequence
+
+from ..sim.trace import TraceRecord
+
+
+@dataclass
+class ValueSite:
+    pc: int
+    op_name: str
+    is_load: bool
+    count: int = 0
+    lv_hits: int = 0
+    distinct_cap: int = 0  # number of result changes observed
+
+    def lv_rate(self) -> float:
+        return self.lv_hits / self.count if self.count else 0.0
+
+
+class ValueProfile:
+    """Per-pc last-value predictability over one trace."""
+
+    def __init__(self) -> None:
+        self.sites: Dict[int, ValueSite] = {}
+        self._last: Dict[int, int] = {}
+
+    def observe(self, record: TraceRecord) -> None:
+        if record.result is None:
+            return
+        site = self.sites.get(record.pc)
+        if site is None:
+            site = self.sites[record.pc] = ValueSite(record.pc, record.op_name, record.is_load)
+        site.count += 1
+        previous = self._last.get(record.pc)
+        if previous == record.result:
+            site.lv_hits += 1
+        elif previous is not None:
+            site.distinct_cap += 1
+        self._last[record.pc] = record.result
+
+    @classmethod
+    def from_trace(cls, trace: Sequence[TraceRecord]) -> "ValueProfile":
+        profile = cls()
+        for record in trace:
+            profile.observe(record)
+        return profile
+
+    def predictable_pcs(self, threshold: float = 0.8, loads_only: bool = False, min_count: int = 8):
+        """Static pcs whose last-value rate meets ``threshold``."""
+        return {
+            pc
+            for pc, site in self.sites.items()
+            if site.count >= min_count
+            and site.lv_rate() >= threshold
+            and (site.is_load or not loads_only)
+        }

@@ -1,0 +1,17 @@
+"""Functional simulation substrate: memory, architectural state, interpreter, traces."""
+
+from .functional import FunctionalSimulator, RunResult, SimulationError, run_program
+from .machine import ArchState
+from .memory import WORD_BYTES, Memory
+from .trace import TraceRecord
+
+__all__ = [
+    "FunctionalSimulator",
+    "RunResult",
+    "SimulationError",
+    "run_program",
+    "ArchState",
+    "WORD_BYTES",
+    "Memory",
+    "TraceRecord",
+]

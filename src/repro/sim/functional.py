@@ -1,0 +1,166 @@
+"""Execution-driven functional (architectural) simulator.
+
+This is both (a) the trace generator feeding all profilers and the Figure 1
+reuse analysis, and (b) the golden reference for co-simulating the pipeline:
+whatever prediction or recovery scheme the pipeline uses, its committed
+architectural state must match this interpreter's.
+
+Observers receive each :class:`TraceRecord` as it commits and may also inspect
+the live :class:`ArchState` (the record is delivered *after* the architectural
+write, with the prior destination value preserved in ``record.old_dest``).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, List, Optional, Tuple
+
+from ..isa.instructions import Instruction
+from ..isa.opcodes import OpKind
+from ..isa.program import Program
+from .machine import ArchState
+from .memory import Memory
+from .trace import TraceRecord
+
+Observer = Callable[[TraceRecord, ArchState], None]
+
+
+class SimulationError(RuntimeError):
+    """Raised for runaway or malformed execution (pc out of range, no halt)."""
+
+
+@dataclass
+class RunResult:
+    """Outcome of a functional run."""
+
+    state: ArchState
+    memory: Memory
+    instructions: int
+    halted: bool
+    trace: Optional[List[TraceRecord]] = None
+
+
+class FunctionalSimulator:
+    """Interprets a :class:`Program` against an :class:`ArchState` + :class:`Memory`."""
+
+    def __init__(self, program: Program, memory: Optional[Memory] = None, state: Optional[ArchState] = None) -> None:
+        self.program = program
+        self.memory = memory if memory is not None else Memory()
+        self.state = state if state is not None else ArchState()
+        self.state.pc = program.entry
+        self._observers: List[Observer] = []
+
+    def add_observer(self, observer: Observer) -> None:
+        self._observers.append(observer)
+
+    def step(self, seq: int) -> Tuple[TraceRecord, bool]:
+        """Execute one instruction; returns (record, halted)."""
+        state = self.state
+        pc = state.pc
+        if not 0 <= pc < len(self.program):
+            raise SimulationError(f"pc {pc} out of range (program {self.program.name})")
+        inst = self.program[pc]
+        op = inst.op
+        kind = op.kind
+        next_pc = pc + 1
+        result: Optional[int] = None
+        old_dest: Optional[int] = None
+        addr: Optional[int] = None
+        store_value: Optional[int] = None
+        taken: Optional[bool] = None
+        halted = False
+        src_values: Tuple[int, ...] = ()
+
+        if kind is OpKind.ALU:
+            a = state.read(inst.src1) if inst.src1 is not None else 0
+            if inst.src2 is not None:
+                b = state.read(inst.src2)
+                src_values = (a, b)
+            else:
+                b = inst.imm if inst.imm is not None else 0
+                src_values = (a,) if inst.src1 is not None else ()
+            result = op.alu_fn(a, b)  # type: ignore[misc]
+        elif kind is OpKind.LOAD:
+            base = state.read(inst.src1)
+            src_values = (base,)
+            addr = (base + (inst.imm or 0)) & ((1 << 64) - 1)
+            result = self.memory.load(addr)
+        elif kind is OpKind.STORE:
+            base = state.read(inst.src1)
+            value = state.read(inst.src2)
+            src_values = (base, value)
+            addr = (base + (inst.imm or 0)) & ((1 << 64) - 1)
+            store_value = value
+            self.memory.store(addr, value)
+        elif kind is OpKind.BRANCH:
+            test = state.read(inst.src1)
+            src_values = (test,)
+            taken = op.cond_fn(test)  # type: ignore[misc]
+            if taken:
+                next_pc = inst.target_pc  # type: ignore[assignment]
+        elif kind is OpKind.JUMP:
+            next_pc = inst.target_pc  # type: ignore[assignment]
+        elif kind is OpKind.CALL:
+            result = pc + 1
+            next_pc = inst.target_pc  # type: ignore[assignment]
+        elif kind is OpKind.INDIRECT:
+            target = state.read(inst.src1)
+            src_values = (target,)
+            next_pc = target
+        elif kind is OpKind.HALT:
+            halted = True
+            next_pc = pc
+        # NOP falls through with no effects.
+
+        if result is not None and inst.writes is not None:
+            old_dest = state.read(inst.writes)
+            state.write(inst.writes, result)
+        elif result is not None:
+            # Write to a zero register: result computed, architecturally dropped.
+            old_dest = 0
+
+        state.pc = next_pc
+        record = TraceRecord(
+            seq=seq,
+            pc=pc,
+            inst=inst,
+            next_pc=next_pc,
+            result=result,
+            old_dest=old_dest,
+            src_values=src_values,
+            addr=addr,
+            store_value=store_value,
+            taken=taken,
+        )
+        return record, halted
+
+    def run(self, max_instructions: int = 1_000_000, collect_trace: bool = False) -> RunResult:
+        """Run until ``halt`` or ``max_instructions`` committed instructions."""
+        trace: Optional[List[TraceRecord]] = [] if collect_trace else None
+        observers = self._observers
+        halted = False
+        executed = 0
+        for seq in range(max_instructions):
+            record, halted = self.step(seq)
+            executed += 1
+            if trace is not None:
+                trace.append(record)
+            for observer in observers:
+                observer(record, self.state)
+            if halted:
+                break
+        return RunResult(state=self.state, memory=self.memory, instructions=executed, halted=halted, trace=trace)
+
+
+def run_program(
+    program: Program,
+    memory: Optional[Memory] = None,
+    max_instructions: int = 1_000_000,
+    collect_trace: bool = False,
+    observers: Optional[List[Observer]] = None,
+) -> RunResult:
+    """Convenience wrapper: build a simulator, attach observers, run."""
+    sim = FunctionalSimulator(program, memory=memory)
+    for observer in observers or []:
+        sim.add_observer(observer)
+    return sim.run(max_instructions=max_instructions, collect_trace=collect_trace)

@@ -1,0 +1,56 @@
+"""Architectural machine state: register files + pc."""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional
+
+from ..isa.opcodes import MASK64
+from ..isa.registers import FP, INT, NUM_FP_REGS, NUM_INT_REGS, Reg
+
+
+class ArchState:
+    """Architectural state shared by the functional and pipeline simulators.
+
+    Reads of ``r31``/``f31`` always return 0; writes to them are discarded.
+    """
+
+    def __init__(self) -> None:
+        self.int_regs: List[int] = [0] * NUM_INT_REGS
+        self.fp_regs: List[int] = [0] * NUM_FP_REGS
+        self.pc: int = 0
+
+    def read(self, reg: Reg) -> int:
+        if reg.is_zero:
+            return 0
+        bank = self.int_regs if reg.kind == INT else self.fp_regs
+        return bank[reg.index]
+
+    def write(self, reg: Reg, value: int) -> None:
+        if reg.is_zero:
+            return
+        bank = self.int_regs if reg.kind == INT else self.fp_regs
+        bank[reg.index] = value & MASK64
+
+    def snapshot(self) -> Dict[Reg, int]:
+        """All nonzero register values, for debugging and state comparison."""
+        from ..isa.registers import F, R
+
+        values: Dict[Reg, int] = {}
+        for i, value in enumerate(self.int_regs):
+            if value and i != 31:
+                values[R[i]] = value
+        for i, value in enumerate(self.fp_regs):
+            if value and i != 31:
+                values[F[i]] = value
+        return values
+
+    def copy(self) -> "ArchState":
+        clone = ArchState()
+        clone.int_regs = list(self.int_regs)
+        clone.fp_regs = list(self.fp_regs)
+        clone.pc = self.pc
+        return clone
+
+    def state_equal(self, other: "ArchState") -> bool:
+        """Register-file equality (pc excluded; zero registers always equal)."""
+        return self.int_regs[:31] == other.int_regs[:31] and self.fp_regs[:31] == other.fp_regs[:31]

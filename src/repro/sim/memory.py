@@ -1,0 +1,66 @@
+"""Sparse 64-bit word memory.
+
+Addresses are byte addresses; every access moves one aligned 64-bit word
+(8 bytes), which is the only access size in the ISA.  Backing storage is a
+dict keyed by word index, so programs can scatter data structures anywhere in
+a 64-bit address space without preallocating.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, Iterator, Tuple
+
+from ..isa.opcodes import MASK64
+
+WORD_BYTES = 8
+
+
+class Memory:
+    """Sparse word-addressable memory; unwritten words read as zero."""
+
+    def __init__(self) -> None:
+        self._words: Dict[int, int] = {}
+
+    @staticmethod
+    def _word_index(addr: int) -> int:
+        addr &= MASK64
+        if addr % WORD_BYTES:
+            raise ValueError(f"unaligned access at address {addr:#x}")
+        return addr // WORD_BYTES
+
+    def load(self, addr: int) -> int:
+        return self._words.get(self._word_index(addr), 0)
+
+    def store(self, addr: int, value: int) -> None:
+        self._words[self._word_index(addr)] = value & MASK64
+
+    def write_words(self, addr: int, values: Iterable[int]) -> None:
+        """Bulk-initialise consecutive words starting at ``addr``."""
+        index = self._word_index(addr)
+        for offset, value in enumerate(values):
+            self._words[index + offset] = value & MASK64
+
+    def read_words(self, addr: int, count: int) -> Tuple[int, ...]:
+        index = self._word_index(addr)
+        return tuple(self._words.get(index + i, 0) for i in range(count))
+
+    def copy(self) -> "Memory":
+        clone = Memory()
+        clone._words = dict(self._words)
+        return clone
+
+    def nonzero_words(self) -> Iterator[Tuple[int, int]]:
+        """Iterate ``(byte_address, value)`` for words ever written."""
+        for index, value in self._words.items():
+            yield index * WORD_BYTES, value
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, Memory):
+            return NotImplemented
+        # Compare modulo zero-valued words (unwritten == written-zero).
+        mine = {k: v for k, v in self._words.items() if v}
+        theirs = {k: v for k, v in other._words.items() if v}
+        return mine == theirs
+
+    def __len__(self) -> int:
+        return len(self._words)

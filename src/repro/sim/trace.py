@@ -1,0 +1,54 @@
+"""Dynamic trace records emitted by the functional simulator.
+
+One :class:`TraceRecord` per *committed* instruction.  The fields cover
+everything the profilers and the Figure 1 analysis need:
+
+* ``old_dest`` — the value in the destination register *before* the write.
+  Register-value prediction predicts ``result == old_dest``; this field is the
+  heart of the whole reproduction.
+* ``src_values`` — operand values actually read.
+* ``addr`` — effective address for loads/stores.
+* ``taken`` / ``next_pc`` — control-flow outcome.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional, Tuple
+
+from ..isa.instructions import Instruction
+from ..isa.registers import Reg
+
+
+@dataclass(frozen=True)
+class TraceRecord:
+    """One committed dynamic instruction."""
+
+    seq: int  # dynamic instruction number, 0-based
+    pc: int
+    inst: Instruction
+    next_pc: int
+    result: Optional[int] = None  # value written to dst (None if no dest)
+    old_dest: Optional[int] = None  # prior value of dst (None if no dest)
+    src_values: Tuple[int, ...] = ()
+    addr: Optional[int] = None  # effective address for memory ops
+    store_value: Optional[int] = None
+    taken: Optional[bool] = None  # conditional branches only
+
+    @property
+    def op_name(self) -> str:
+        return self.inst.op.name
+
+    @property
+    def dst(self) -> Optional[Reg]:
+        return self.inst.writes
+
+    @property
+    def is_load(self) -> bool:
+        return self.inst.is_load
+
+    @property
+    def register_value_reused(self) -> bool:
+        """True when the instruction produced the value already in its
+        destination register — i.e. a correct same-register RVP prediction."""
+        return self.result is not None and self.result == self.old_dest

@@ -1,0 +1,26 @@
+"""Cycle-level out-of-order superscalar microarchitecture model."""
+
+from .branch import BranchPredictor
+from .cache import Cache, MemoryHierarchy
+from .config import CacheConfig, MachineConfig, aggressive_config, table1_config
+from .pipeline import DynInst, PipelineSimulator, simulate
+from .recovery import RecoveryScheme
+from .stats import SimStats
+from .stream import StreamEntry, prepare_stream
+
+__all__ = [
+    "BranchPredictor",
+    "Cache",
+    "MemoryHierarchy",
+    "CacheConfig",
+    "MachineConfig",
+    "aggressive_config",
+    "table1_config",
+    "DynInst",
+    "PipelineSimulator",
+    "simulate",
+    "RecoveryScheme",
+    "SimStats",
+    "StreamEntry",
+    "prepare_stream",
+]

@@ -1,0 +1,109 @@
+"""Branch prediction: gshare PHT + BTB + return-address stack (Table 1).
+
+The front end asks :meth:`BranchPredictor.predict` for every control
+instruction it fetches; the answer is a (taken, target) pair where ``target``
+may be ``None`` ("taken but target unknown" — a BTB miss, treated as a
+misfetch).  Outcomes are trained immediately at fetch with the oracle outcome
+(the pipeline models misprediction *timing* by stalling fetch until the
+branch resolves; wrong-path instructions are not simulated — see DESIGN.md).
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Tuple
+
+from ..isa.instructions import Instruction
+from ..isa.opcodes import OpKind
+from .config import MachineConfig
+
+
+class BranchPredictor:
+    def __init__(self, config: MachineConfig) -> None:
+        self.pht_entries = config.pht_entries
+        self.btb_entries = config.btb_entries
+        self._pht: List[int] = [1] * config.pht_entries  # 2-bit, weakly not-taken
+        self._btb: List[Optional[Tuple[int, int]]] = [None] * config.btb_entries  # (tag, target)
+        self._ras: List[int] = []
+        self._ras_limit = config.ras_entries
+        self._history = 0
+        self._history_mask = config.pht_entries - 1
+        # statistics
+        self.cond_lookups = 0
+        self.cond_mispredicts = 0
+        self.target_mispredicts = 0
+
+    # ------------------------------------------------------------------
+    # Lookup + train (fetch-time, oracle outcome known)
+    # ------------------------------------------------------------------
+    def predict_and_train(self, inst: Instruction, actual_taken: bool, actual_target: int) -> bool:
+        """Returns True if the fetch unit predicted this control transfer
+        correctly (direction and target); trains all structures."""
+        kind = inst.op.kind
+        if kind is OpKind.BRANCH:
+            return self._conditional(inst, actual_taken, actual_target)
+        if kind is OpKind.JUMP:
+            return True  # direct unconditional: decoded target, no penalty
+        if kind is OpKind.CALL:
+            self._ras_push(inst.pc + 1)
+            return True  # direct call: decoded target
+        # Indirect: ret predicts via RAS, jmp via BTB.
+        if inst.op.name == "ret":
+            predicted = self._ras_pop()
+            correct = predicted == actual_target
+            if not correct:
+                self.target_mispredicts += 1
+            return correct
+        predicted_target = self._btb_lookup(inst.pc)
+        self._btb_update(inst.pc, actual_target)
+        correct = predicted_target == actual_target
+        if not correct:
+            self.target_mispredicts += 1
+        return correct
+
+    # ------------------------------------------------------------------
+    # Internals
+    # ------------------------------------------------------------------
+    def _conditional(self, inst: Instruction, actual_taken: bool, actual_target: int) -> bool:
+        self.cond_lookups += 1
+        index = (inst.pc ^ self._history) & self._history_mask
+        counter = self._pht[index]
+        predicted_taken = counter >= 2
+        # Train PHT and history with the actual outcome.
+        if actual_taken:
+            self._pht[index] = min(3, counter + 1)
+        else:
+            self._pht[index] = max(0, counter - 1)
+        self._history = ((self._history << 1) | (1 if actual_taken else 0)) & self._history_mask
+
+        correct = predicted_taken == actual_taken
+        if correct and actual_taken:
+            # Direction right, but the target must come from the BTB.
+            predicted_target = self._btb_lookup(inst.pc)
+            self._btb_update(inst.pc, actual_target)
+            if predicted_target != actual_target:
+                self.target_mispredicts += 1
+                return False
+        elif actual_taken:
+            self._btb_update(inst.pc, actual_target)
+        if not correct:
+            self.cond_mispredicts += 1
+        return correct
+
+    def _btb_lookup(self, pc: int) -> Optional[int]:
+        entry = self._btb[pc % self.btb_entries]
+        if entry is not None and entry[0] == pc:
+            return entry[1]
+        return None
+
+    def _btb_update(self, pc: int, target: int) -> None:
+        self._btb[pc % self.btb_entries] = (pc, target)
+
+    def _ras_push(self, return_pc: int) -> None:
+        if len(self._ras) >= self._ras_limit:
+            self._ras.pop(0)
+        self._ras.append(return_pc)
+
+    def _ras_pop(self) -> Optional[int]:
+        if self._ras:
+            return self._ras.pop()
+        return None

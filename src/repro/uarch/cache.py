@@ -1,0 +1,90 @@
+"""Set-associative LRU caches (Table 1 hierarchy) with fill latency.
+
+Latency-only model: an access returns the number of *additional* cycles
+beyond the pipeline's base load-use latency.  A miss starts a line fill that
+completes ``miss_penalty`` (plus any lower-level penalty) cycles later;
+subsequent accesses to the same line before the fill completes wait for it
+(MSHR-style merging) rather than hitting instantly.  Bandwidth contention is
+not modelled, matching the level of detail value-prediction studies of this
+era used for their memory systems.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Tuple
+
+from .config import CacheConfig
+
+
+class Cache:
+    """One cache level: set-associative, true-LRU, allocate-on-miss."""
+
+    def __init__(self, config: CacheConfig, parent: Optional["Cache"] = None) -> None:
+        if config.line_bytes & (config.line_bytes - 1):
+            raise ValueError("line size must be a power of two")
+        self.config = config
+        self.parent = parent
+        self.num_sets = config.size_bytes // (config.line_bytes * config.assoc)
+        if self.num_sets < 1:
+            raise ValueError("cache too small for its associativity")
+        self._line_shift = config.line_bytes.bit_length() - 1
+        # Per set: list of line ids in LRU order (index 0 = least recent).
+        self._sets: List[List[int]] = [[] for _ in range(self.num_sets)]
+        # In-flight fills: line id -> cycle the data arrives.
+        self._fill_ready: Dict[int, int] = {}
+        self.hits = 0
+        self.misses = 0
+
+    def _locate(self, addr: int) -> Tuple[int, int]:
+        line = addr >> self._line_shift
+        return line % self.num_sets, line
+
+    def access(self, addr: int, cycle: int = 0) -> int:
+        """Returns additional latency in cycles for an access at ``cycle``."""
+        set_index, line = self._locate(addr)
+        ways = self._sets[set_index]
+        if line in ways:
+            ways.remove(line)
+            ways.append(line)
+            self.hits += 1
+            ready = self._fill_ready.get(line)
+            if ready is None:
+                return 0
+            if ready <= cycle:
+                del self._fill_ready[line]
+                return 0
+            return ready - cycle  # merge into the outstanding fill
+        self.misses += 1
+        penalty = self.config.miss_penalty
+        if self.parent is not None:
+            penalty += self.parent.access(addr, cycle)
+        ways.append(line)
+        self._fill_ready[line] = cycle + penalty
+        if len(ways) > self.config.assoc:
+            evicted = ways.pop(0)
+            self._fill_ready.pop(evicted, None)
+        return penalty
+
+    @property
+    def accesses(self) -> int:
+        return self.hits + self.misses
+
+    def miss_rate(self) -> float:
+        return self.misses / self.accesses if self.accesses else 0.0
+
+
+class MemoryHierarchy:
+    """L1I + L1D sharing an L2, per Table 1."""
+
+    def __init__(self, l1i: CacheConfig, l1d: CacheConfig, l2: CacheConfig) -> None:
+        self.l2 = Cache(l2)
+        self.l1i = Cache(l1i, parent=self.l2)
+        self.l1d = Cache(l1d, parent=self.l2)
+
+    def fetch_latency(self, pc: int, cycle: int = 0) -> int:
+        """Extra cycles to fetch the line holding instruction ``pc``
+        (instructions are 8 bytes in this word-addressed ISA)."""
+        return self.l1i.access(pc * 8, cycle)
+
+    def data_latency(self, addr: int, cycle: int = 0) -> int:
+        return self.l1d.access(addr, cycle)

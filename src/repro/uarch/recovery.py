@@ -1,0 +1,37 @@
+"""Value-misprediction recovery schemes (paper Section 4.3).
+
+Three mechanisms of increasing complexity:
+
+* ``REFETCH`` — a value mispredict is treated like a branch mispredict:
+  everything from the first use of the predicted value onward is squashed
+  and refetched.  Highest mispredict cost, but correct predictions place no
+  extra pressure on the instruction queues (entries are freed at issue, as
+  in a normal out-of-order machine).
+* ``REISSUE`` — every instruction after the first use is kept in the
+  instruction queue until it is no longer speculative, and re-issues from
+  there (one-cycle penalty) on a mispredict.
+* ``SELECTIVE`` — only instructions data-dependent (directly or
+  transitively) on the predicted value are kept in the queue and re-issued.
+
+The queue-occupancy difference between the three is the paper's Section 7.1.1
+result: refetch often beats reissue because holding instructions in the IQ
+"prevents other instructions from getting into the machine".
+"""
+
+from __future__ import annotations
+
+import enum
+
+
+class RecoveryScheme(enum.Enum):
+    REFETCH = "refetch"
+    REISSUE = "reissue"
+    SELECTIVE = "selective"
+
+    @classmethod
+    def parse(cls, name: str) -> "RecoveryScheme":
+        try:
+            return cls(name)
+        except ValueError:
+            raise ValueError(f"unknown recovery scheme {name!r}; choose from "
+                             f"{[s.value for s in cls]}") from None

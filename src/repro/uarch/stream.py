@@ -1,0 +1,141 @@
+"""Correct-path dynamic stream preparation for the pipeline simulator.
+
+The pipeline is execution-driven off the functional simulator's committed
+trace.  Because register renaming always routes a consumer to the correct
+prior writer (the paper's "no stale values" property, Section 1), every
+*architectural* quantity the pipeline needs is a pure function of the dynamic
+instruction sequence and can be computed in one pass:
+
+* per-operand producer (the last older writer of the register),
+* the destination's previous writer (RVP's prediction source),
+* the last store to a load's address (memory dependence),
+* whether a would-be prediction is correct, for each predictor source kind —
+  same-register, correlated-register (dead/live hint), or previous-instance
+  (the idealised last-value-reallocation model).
+
+Only *timing* and predictor state (confidence counters, LVP table contents)
+remain dynamic; the cycle engine handles those.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from ..isa.opcodes import FuClass, OpKind
+from ..profiling.deadness import reg_id
+from ..sim.trace import TraceRecord
+from ..vp.base import PredictionSource, SourceKind, ValuePredictor
+
+
+@dataclass
+class StreamEntry:
+    """One correct-path dynamic instruction with precomputed dependences."""
+
+    seq: int
+    record: TraceRecord
+    fu: str  # 'int' | 'fp' | 'ldst' | 'none'
+    iq: str  # 'int' | 'fp'
+    base_latency: int
+    src_deps: Tuple[Optional[int], ...]
+    store_dep: Optional[int]
+    dst_old_writer: Optional[int]
+    #: prediction source for this pc (None = not a candidate)
+    cand_source: Optional[PredictionSource]
+    #: producer of the prediction value (for DST/REG sources)
+    value_dep: Optional[int]
+    #: previous dynamic instance of this pc (for ideal-LVR STORED sources)
+    prev_instance: Optional[int]
+    #: would a DST/REG/ideal-STORED prediction be correct here?
+    pred_correct: bool
+
+    @property
+    def pc(self) -> int:
+        return self.record.pc
+
+    @property
+    def inst(self):
+        return self.record.inst
+
+
+def _fu_of(record: TraceRecord) -> Tuple[str, str]:
+    op = record.inst.op
+    if op.is_mem:
+        return "ldst", "fp" if op.fp_dest and op.is_load else "int"
+    if op.fu is FuClass.FP:
+        return "fp", "fp"
+    return "int", "int"
+
+
+def prepare_stream(trace: Sequence[TraceRecord], predictor: ValuePredictor) -> List[StreamEntry]:
+    """Precompute the pipeline stream for one trace + predictor combination."""
+    entries: List[StreamEntry] = []
+    last_writer: Dict[int, int] = {}
+    last_store: Dict[int, int] = {}
+    reg_values: List[int] = [0] * 64
+    last_result_of_pc: Dict[int, Tuple[int, int]] = {}  # pc -> (seq, result)
+    source_cache: Dict[int, Optional[PredictionSource]] = {}
+
+    for record in trace:
+        inst = record.inst
+        seq = record.seq
+        fu, iq = _fu_of(record)
+
+        deps: List[Optional[int]] = []
+        for src in inst.reads:
+            deps.append(None if src.is_zero else last_writer.get(reg_id(src)))
+        store_dep = last_store.get(record.addr) if record.is_load and record.addr is not None else None
+
+        dst = inst.writes
+        dst_old_writer = last_writer.get(reg_id(dst)) if dst is not None else None
+
+        if inst.pc in source_cache:
+            source = source_cache[inst.pc]
+        else:
+            source = predictor.source(inst)
+            source_cache[inst.pc] = source
+
+        value_dep: Optional[int] = None
+        prev_instance: Optional[int] = None
+        pred_correct = False
+        if source is not None and record.result is not None:
+            if source.kind is SourceKind.DST:
+                value_dep = dst_old_writer
+                pred_correct = record.result == record.old_dest
+            elif source.kind is SourceKind.REG:
+                rid = reg_id(source.reg)
+                value_dep = last_writer.get(rid)
+                pred_correct = record.result == reg_values[rid]
+            else:  # STORED
+                prev = last_result_of_pc.get(inst.pc)
+                if prev is not None:
+                    prev_instance = prev[0]
+                    pred_correct = record.result == prev[1]
+
+        entries.append(
+            StreamEntry(
+                seq=seq,
+                record=record,
+                fu=fu,
+                iq=iq,
+                base_latency=inst.op.latency,
+                src_deps=tuple(deps),
+                store_dep=store_dep,
+                dst_old_writer=dst_old_writer,
+                cand_source=source,
+                value_dep=value_dep,
+                prev_instance=prev_instance,
+                pred_correct=pred_correct,
+            )
+        )
+
+        # Advance the mirrors.
+        if dst is not None and record.result is not None:
+            rid = reg_id(dst)
+            last_writer[rid] = seq
+            reg_values[rid] = record.result
+        if record.result is not None:
+            last_result_of_pc[inst.pc] = (seq, record.result)
+        if inst.is_store and record.addr is not None:
+            last_store[record.addr] = seq
+    return entries

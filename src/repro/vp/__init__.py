@@ -1,0 +1,32 @@
+"""Value predictors: dynamic/static RVP, buffer-based LVP, Gabbay register predictor."""
+
+from .base import NoPredictor, PredictionSource, SourceKind, ValuePredictor
+from .confidence import COUNTER_BITS, COUNTER_MAX, DEFAULT_THRESHOLD, ResettingCounterTable
+from .context import ContextPredictor
+from .gabbay import GabbayRegisterPredictor
+from .lvp import LastValuePredictor
+from .memory_renaming import MemoryRenamingPredictor
+from .rvp import DynamicRVP
+from .static_rvp import StaticRVP
+from .storage import StorageEstimate, estimate_storage
+from .stride import StridePredictor
+
+__all__ = [
+    "NoPredictor",
+    "PredictionSource",
+    "SourceKind",
+    "ValuePredictor",
+    "COUNTER_BITS",
+    "COUNTER_MAX",
+    "DEFAULT_THRESHOLD",
+    "ResettingCounterTable",
+    "ContextPredictor",
+    "GabbayRegisterPredictor",
+    "LastValuePredictor",
+    "MemoryRenamingPredictor",
+    "DynamicRVP",
+    "StaticRVP",
+    "StorageEstimate",
+    "estimate_storage",
+    "StridePredictor",
+]

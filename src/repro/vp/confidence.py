@@ -1,0 +1,50 @@
+"""Saturating *resetting* confidence counters (paper Section 6).
+
+The paper uses 3-bit resetting counters with a confidence threshold of 7 for
+both last-value prediction and dynamic RVP: "we only predict after we have
+seen seven consecutive hits.  This is a conservative filter".  A correct
+outcome increments (saturating at 7); an incorrect outcome resets to zero —
+so the counter value is the current hit-streak length, clipped.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+COUNTER_BITS = 3
+COUNTER_MAX = (1 << COUNTER_BITS) - 1
+DEFAULT_THRESHOLD = 7
+
+
+class ResettingCounterTable:
+    """A direct-mapped table of resetting confidence counters."""
+
+    def __init__(self, entries: int, threshold: int = DEFAULT_THRESHOLD) -> None:
+        if entries <= 0 or entries & (entries - 1):
+            raise ValueError("entries must be a positive power of two")
+        if not 0 < threshold <= COUNTER_MAX:
+            raise ValueError(f"threshold must be in [1, {COUNTER_MAX}]")
+        self.entries = entries
+        self.threshold = threshold
+        self._mask = entries - 1
+        self._counters: List[int] = [0] * entries
+
+    def index(self, key: int) -> int:
+        return key & self._mask
+
+    def confident(self, key: int) -> bool:
+        return self._counters[key & self._mask] >= self.threshold
+
+    def value(self, key: int) -> int:
+        return self._counters[key & self._mask]
+
+    def update(self, key: int, correct: bool) -> None:
+        idx = key & self._mask
+        if correct:
+            if self._counters[idx] < COUNTER_MAX:
+                self._counters[idx] += 1
+        else:
+            self._counters[idx] = 0
+
+    def reset(self) -> None:
+        self._counters = [0] * self.entries

@@ -1,0 +1,116 @@
+"""Hardware storage accounting for the predictors (paper Section 1).
+
+The paper's opening argument is cost: "a value prediction scheme with a
+2K-entry buffer on a 64-bit processor requires 16KB of storage for the value
+buffer and an additional 9-13 KB for the tags", versus RVP's counters-only
+budget.  This module computes those numbers for every predictor in the
+repository so the comparison in the figures can always be read next to its
+price tag.
+
+Conventions (matching the paper's arithmetic):
+
+* values are 64 bits;
+* a PC tag for an ``n``-entry direct-mapped table costs ``pc_bits - log2(n)``
+  bits per entry; we charge 48-bit instruction addresses, which lands a
+  2K-entry table's tags at 9.25KB — inside the paper's "9-13 KB ...
+  depending on the size of physical addresses";
+* confidence counters are 3 bits.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Optional
+
+from .base import ValuePredictor
+from .confidence import COUNTER_BITS
+
+VALUE_BITS = 64
+PC_BITS = 48
+
+
+def _tag_bits(entries: int) -> int:
+    return max(0, PC_BITS - int(math.log2(entries)))
+
+
+@dataclass(frozen=True)
+class StorageEstimate:
+    """Bits of dedicated prediction state for one predictor."""
+
+    name: str
+    value_bits: int
+    tag_bits: int
+    counter_bits: int
+    other_bits: int = 0
+
+    @property
+    def total_bits(self) -> int:
+        return self.value_bits + self.tag_bits + self.counter_bits + self.other_bits
+
+    @property
+    def total_bytes(self) -> float:
+        return self.total_bits / 8
+
+    def describe(self) -> str:
+        kib = self.total_bits / 8 / 1024
+        return (
+            f"{self.name}: {kib:.2f} KiB "
+            f"(values {self.value_bits // 8}B, tags {self.tag_bits // 8}B, "
+            f"counters {self.counter_bits // 8}B, other {self.other_bits // 8}B)"
+        )
+
+
+def estimate_storage(predictor: ValuePredictor) -> StorageEstimate:
+    """Dedicated storage for any of the repository's predictors."""
+    kind = type(predictor).__name__
+
+    if kind == "NoPredictor":
+        return StorageEstimate("no_predict", 0, 0, 0)
+
+    if kind == "DynamicRVP":
+        entries = predictor.counters.entries
+        tag = _tag_bits(entries) * entries if getattr(predictor, "tagged", False) else 0
+        return StorageEstimate(predictor.name, 0, tag, COUNTER_BITS * entries)
+
+    if kind == "StaticRVP":
+        # Marking lives in the opcodes; no dynamic state at all.
+        return StorageEstimate(predictor.name, 0, 0, 0)
+
+    if kind == "GabbayRegisterPredictor":
+        return StorageEstimate(predictor.name, 0, 0, COUNTER_BITS * 64)
+
+    if kind == "LastValuePredictor":
+        entries = predictor.entries
+        tags = _tag_bits(entries) * entries if predictor.tagged else 0
+        return StorageEstimate(predictor.name, VALUE_BITS * entries, tags, COUNTER_BITS * entries)
+
+    if kind == "StridePredictor":
+        entries = predictor.entries
+        return StorageEstimate(
+            predictor.name,
+            VALUE_BITS * entries,
+            _tag_bits(entries) * entries,
+            COUNTER_BITS * entries,
+            other_bits=VALUE_BITS * entries,  # the stride field
+        )
+
+    if kind == "ContextPredictor":
+        vht_values = VALUE_BITS * predictor.order * predictor.entries
+        vht_tags = _tag_bits(predictor.entries) * predictor.entries
+        vpt_values = VALUE_BITS * predictor.vpt_entries
+        vpt_counters = COUNTER_BITS * predictor.vpt_entries
+        return StorageEstimate(predictor.name, vht_values + vpt_values, vht_tags, vpt_counters)
+
+    if kind == "MemoryRenamingPredictor":
+        entries = predictor.entries
+        store_entry_bits = PC_BITS + VALUE_BITS + 64  # pc + value + address
+        return StorageEstimate(
+            predictor.name,
+            VALUE_BITS * entries,  # per-channel value file
+            _tag_bits(entries) * entries,
+            COUNTER_BITS * entries,
+            other_bits=PC_BITS * entries + store_entry_bits * predictor._store_cap,
+        )
+
+    raise ValueError(f"no storage model for predictor type {kind}")

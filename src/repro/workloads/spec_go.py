@@ -1,0 +1,115 @@
+"""``go`` model — branchy board evaluation with low value locality.
+
+SPEC95 go is the least predictable benchmark in the paper's suite: Table 2
+shows only 4% of instructions predicted (drvp-dead) and Figures 3/5/6 show
+essentially no speedup from any predictor.  What makes go hard is highly
+data-dependent control flow over a board whose cell values, while drawn from
+a tiny alphabet {empty, black, white}, arrive in an order with little
+temporal correlation.
+
+The model scans a go board repeatedly; for every stone it examines the four
+neighbours, counts liberties and friendly contacts with data-dependent
+branches, and writes an evaluation score.  Cell loads use a tiny alphabet but
+random placement, so same-register and last-value reuse are both modest, and
+the branch predictor takes a realistic beating.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..isa.builder import ProgramBuilder
+from ..isa.program import Program
+from ..isa.registers import R
+from ..sim.memory import Memory
+from .base import HEADER_BASE, SCRATCH_BASE, Workload
+
+_BOARD = 0
+_ROW = 16  # cells per row
+_EMPTY, _BLACK, _WHITE = 0, 1, 2
+
+
+class GoWorkload(Workload):
+    name = "go"
+    category = "C"
+    description = "Board scan with data-dependent branching and weak locality"
+
+    def _build_program(self) -> Program:
+        b = ProgramBuilder(self.name)
+        board = self.array_base(_BOARD)
+        with b.procedure("main"):
+            b.li(R[9], HEADER_BASE)
+            b.ld(R[10], R[9], 0)  # number of full-board passes
+            b.ld(R[11], R[9], 8)  # number of interior cells to visit
+            b.li(R[13], SCRATCH_BASE)
+            b.label("pass_loop")
+            # Visit interior cells (skip first and last row to avoid edges).
+            b.li(R[12], _ROW)  # cell index
+            b.li(R[14], 0)  # visited count
+            b.label("cell_loop")
+            b.sll(R[1], R[12], 3)
+            b.li(R[2], board)
+            b.add(R[2], R[2], R[1])
+            b.ld(R[3], R[2], 0)  # centre cell
+            b.beq(R[3], "empty_cell")
+            # A stone: inspect the four neighbours.
+            b.ld(R[4], R[2], 8)  # east
+            b.ld(R[5], R[2], -8)  # west
+            b.ld(R[6], R[2], 8 * _ROW)  # south
+            b.ld(R[7], R[2], -8 * _ROW)  # north
+            b.li(R[8], 0)  # liberty count
+            b.bne(R[4], "e_occupied")
+            b.addi(R[8], R[8], 1)
+            b.label("e_occupied")
+            b.bne(R[5], "w_occupied")
+            b.addi(R[8], R[8], 1)
+            b.label("w_occupied")
+            b.bne(R[6], "s_occupied")
+            b.addi(R[8], R[8], 1)
+            b.label("s_occupied")
+            b.bne(R[7], "n_occupied")
+            b.addi(R[8], R[8], 1)
+            b.label("n_occupied")
+            # Friendly-contact bonus: east neighbour same colour as centre?
+            b.cmpeq(R[1], R[4], R[3])
+            b.beq(R[1], "no_friend")
+            b.addi(R[8], R[8], 4)
+            b.label("no_friend")
+            # Atari check: zero liberties scores a capture bonus.
+            b.bne(R[8], "store_eval")
+            b.addi(R[8], R[8], 16)
+            b.label("store_eval")
+            b.st(R[8], R[13], 0)
+            b.br("advance")
+            b.label("empty_cell")
+            b.st(R[31], R[13], 8)
+            b.label("advance")
+            b.addi(R[12], R[12], 1)
+            b.addi(R[14], R[14], 1)
+            b.cmplt(R[1], R[14], R[11])
+            b.bne(R[1], "cell_loop")
+            b.subi(R[10], R[10], 1)
+            b.bne(R[10], "pass_loop")
+            b.halt()
+        return b.build()
+
+    def _populate_memory(self, memory: Memory, rng: np.random.Generator) -> None:
+        rows = 18
+        cells = rows * _ROW
+        passes = self.n(5)
+        visits = cells - 2 * _ROW
+        # Territory-structured board: long empty regions (the predictable
+        # stretches real go evaluators also see) separated by contested stone
+        # regions whose colours alternate with little temporal correlation.
+        board = []
+        while len(board) < cells:
+            if rng.random() < 0.35:
+                run = 1 + int(rng.geometric(1.0 / 9))
+                board.extend([_EMPTY] * run)
+            else:
+                run = 1 + int(rng.geometric(1.0 / 3))
+                for _ in range(run):
+                    board.append(int(rng.choice([_EMPTY, _BLACK, _WHITE], p=[0.2, 0.41, 0.39])))
+        board = board[:cells]
+        self.write_header(memory, passes, visits)
+        memory.write_words(self.array_base(_BOARD), board)

@@ -1,0 +1,94 @@
+"""``hydro2d`` model — in-place relaxation sweeps over a smooth field.
+
+SPEC95 hydro2d solves hydrodynamical Navier-Stokes equations on a 2D grid.
+In the paper it is one of the most RVP-friendly codes (Table 2: 22% coverage
+drvp-dead, 27% with dead+lv, at ~99.9% accuracy) and one of the four programs
+in the Figure 7 reallocation study.
+
+The model runs an in-place transport update ``u[i] = u[i-1] + u[i+1] - u[i]``
+over a quantised smooth field.  Within a constant run of the field the update
+is value-preserving (``v + v - v == v``), and at run boundaries the boundary
+simply drifts one cell per sweep — so the field stays run-structured forever.
+The value-locality structure this produces:
+
+* **A serial memory-carried chain through a predictable load.**  Each
+  iteration stores ``u[i]`` and the next iteration loads it (``f2``); the
+  stored value usually equals the loaded register's previous content, so
+  dynamic RVP collapses the sweep's critical recurrence — the paper's core
+  mechanism for its FP codes.
+* **Rotating stencil loads (dead-register correlation).**  ``u[i-1]`` loaded
+  into ``f1`` equals ``f2``'s previous value; the profiler's dead list
+  captures it, but the live ranges genuinely overlap within an iteration, so
+  the *realistic* reallocator must abandon most of these — reproducing the
+  ideal-vs-realloc gap of Figure 7.
+* **Clobbered chain load (Figure 2c).**  A diagnostic temporary overwrites
+  ``f2`` — the chain load's register — at the end of every iteration, so the
+  chain's same-register reuse is invisible to plain dynamic RVP until either
+  the dead list redirects the prediction (``f2``'s value equals ``f3``'s old
+  content) or the last-value reallocation gives the temporary its own
+  register.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..isa.builder import ProgramBuilder
+from ..isa.program import Program
+from ..isa.registers import F, R
+from ..sim.memory import Memory
+from .base import HEADER_BASE, Workload
+from . import data
+
+_GRID = 0
+_COEFF = 2
+_DIAG_OFFSET = 0x80000  # diagnostic array, relative to the grid cursor
+
+
+class Hydro2dWorkload(Workload):
+    name = "hydro2d"
+    category = "F"
+    description = "In-place transport sweeps with a memory-carried predictable chain"
+
+    def _build_program(self) -> Program:
+        b = ProgramBuilder(self.name)
+        grid = self.array_base(_GRID)
+        coeff = self.array_base(_COEFF)
+        with b.procedure("main"):
+            b.li(R[9], HEADER_BASE)
+            b.ld(R[10], R[9], 0)  # sweeps
+            b.ld(R[11], R[9], 8)  # interior cells per sweep
+            b.li(R[15], coeff)
+            b.label("sweep_loop")
+            b.li(R[12], grid)
+            b.li(R[14], 0)  # cell counter
+            b.label("cell_loop")
+            b.fld(F[1], R[12], 0)  # u[i-1]: equals f2's previous value (dead corr.)
+            b.fld(F[2], R[12], 8)  # u[i]: stored last iteration -> serial chain
+            b.fld(F[3], R[12], 16)  # u[i+1]: smooth-field locality only
+            b.fadd(F[4], F[1], F[3])
+            b.fsub(F[6], F[4], F[2])  # u' = u[i-1] + u[i+1] - u[i] (== u in runs)
+            b.fst(F[6], R[12], 8)  # in-place update closes the chain
+            b.fld(F[5], R[15], 0)  # damping coefficient (constant value)
+            b.fmul(F[7], F[6], F[5])
+            b.fst(F[7], R[12], _DIAG_OFFSET)  # damping diagnostic
+            # Figure 2c: the diagnostic temporary clobbers f2 — the chain
+            # load's register — hiding its reuse from same-register RVP
+            # until the last-value reallocation frees it.
+            b.fsub(F[2], F[7], F[6])
+            b.addi(R[12], R[12], 8)
+            b.addi(R[14], R[14], 1)
+            b.cmplt(R[1], R[14], R[11])
+            b.bne(R[1], "cell_loop")
+            b.subi(R[10], R[10], 1)
+            b.bne(R[10], "sweep_loop")
+            b.halt()
+        return b.build()
+
+    def _populate_memory(self, memory: Memory, rng: np.random.Generator) -> None:
+        cells = self.n(1100)
+        sweeps = self.n(3)
+        field = data.smooth_field(rng, cells + 2, levels=10, step_prob=0.18)
+        self.write_header(memory, sweeps, cells)
+        memory.write_words(self.array_base(_GRID), field)
+        memory.write_words(self.array_base(_COEFF), [5])

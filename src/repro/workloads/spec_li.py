@@ -1,0 +1,127 @@
+"""``li`` model — a Lisp interpreter walking a cons heap.
+
+SPEC95 li (xlisp) spends its time chasing car/cdr pointers and touching a
+small set of shared atoms.  In the paper li is the showcase for
+compiler-created reuse: it gains another 8% from the dead-register
+optimisation (Figure 3) and appears in the Figure 7 reallocation study.
+
+The model recursively sums a list-of-lists heap built by
+:func:`repro.workloads.data.cons_heap`.  Two deliberate structural choices
+reproduce li's profile:
+
+* **Clobbered last-value reuse (Figure 2c).**  In the leaf loop the cdr is
+  loaded into the *same* register that just received the car, so the car
+  load's strong last-value locality (atoms come from a shared pool) is not
+  visible as same-register reuse until the reallocator gives the cdr load its
+  own register.
+* **Dead-register correlation (Figure 2a).**  The loop is unrolled by two
+  with alternating car registers; consecutive atoms frequently match, so each
+  car load's value usually equals the content of the *other* (dead by then)
+  car register.
+
+Recursion uses the real calling convention (jsr/ret, stack frames), which
+also exercises the register allocator's volatile/non-volatile constraints.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..isa.builder import ProgramBuilder
+from ..isa.program import Program
+from ..isa.registers import R, RETURN_ADDRESS, STACK_POINTER
+from ..sim.memory import Memory
+from .base import HEADER_BASE, STACK_BASE, Workload
+from . import data
+
+_HEAP = 0
+
+
+class LiWorkload(Workload):
+    name = "li"
+    category = "C"
+    description = "Lisp-style recursive cons-heap walker with shared atoms"
+
+    def _build_program(self) -> Program:
+        b = ProgramBuilder(self.name)
+        sp = STACK_POINTER
+        ra = RETURN_ADDRESS
+        with b.procedure("main"):
+            b.li(sp, STACK_BASE)
+            b.li(R[9], HEADER_BASE)
+            b.ld(R[10], R[9], 0)  # repetitions of the whole walk
+            b.ld(R[11], R[9], 8)  # master list root address
+            b.li(R[12], 0)  # grand total
+            b.label("outer")
+            b.mov(R[16], R[11])
+            b.jsr("sum_list", link=ra)
+            b.add(R[12], R[12], R[0])
+            b.subi(R[10], R[10], 1)
+            b.bne(R[10], "outer")
+            b.st(R[12], R[9], 16)
+            b.halt()
+        with b.procedure("sum_list"):
+            # Args: r16 = list head.  Returns r0 = sum of atoms (untagged).
+            # Frame: saves ra, r9 (cursor), r13/r14 (car registers), r10 (acc).
+            b.subi(sp, sp, 40)
+            b.st(ra, sp, 0)
+            b.st(R[9], sp, 8)
+            b.st(R[10], sp, 16)
+            b.st(R[13], sp, 24)
+            b.st(R[14], sp, 32)
+            b.mov(R[9], R[16])
+            b.li(R[10], 0)
+            b.label("pair_loop")
+            b.beq(R[9], "done")
+            # --- first cell: car into r13 ---
+            b.ld(R[13], R[9], 0)
+            b.and_(R[2], R[13], 1)
+            b.bne(R[2], "atom_a")
+            b.mov(R[16], R[13])
+            b.jsr("sum_list", link=ra)
+            b.add(R[10], R[10], R[0])
+            b.br("follow_a")
+            b.label("atom_a")
+            b.sra(R[3], R[13], 1)
+            b.add(R[10], R[10], R[3])
+            b.label("follow_a")
+            # Figure 2c: the cdr lands in r13 too, clobbering the atom that
+            # the next first-cell car load would otherwise have matched.
+            b.ld(R[13], R[9], 8)
+            b.mov(R[9], R[13])
+            b.beq(R[9], "done")
+            # --- second cell: car into r14 (dead-correlates with r13's atom) ---
+            b.ld(R[14], R[9], 0)
+            b.and_(R[2], R[14], 1)
+            b.bne(R[2], "atom_b")
+            b.mov(R[16], R[14])
+            b.jsr("sum_list", link=ra)
+            b.add(R[10], R[10], R[0])
+            b.br("follow_b")
+            b.label("atom_b")
+            b.sra(R[3], R[14], 1)
+            b.add(R[10], R[10], R[3])
+            b.label("follow_b")
+            b.ld(R[4], R[9], 8)
+            b.mov(R[9], R[4])
+            b.br("pair_loop")
+            b.label("done")
+            b.mov(R[0], R[10])
+            b.ld(ra, sp, 0)
+            b.ld(R[9], sp, 8)
+            b.ld(R[10], sp, 16)
+            b.ld(R[13], sp, 24)
+            b.ld(R[14], sp, 32)
+            b.addi(sp, sp, 40)
+            b.ret(ra)
+        return b.build()
+
+    def _populate_memory(self, memory: Memory, rng: np.random.Generator) -> None:
+        n_cells = self.n(1600)
+        repetitions = self.n(3)
+        heap_base = self.array_base(_HEAP)
+        words, root = data.cons_heap(
+            rng, heap_base, n_cells, n_atoms=n_cells, atom_reuse=0.9, repeat_prob=0.985, nest_prob=0.02
+        )
+        self.write_header(memory, repetitions, root)
+        memory.write_words(heap_base, words)

@@ -1,0 +1,96 @@
+"""``su2cor`` model — lattice gauge-field matrix-vector products.
+
+SPEC95 su2cor computes quark-propagator correlations in SU(2) lattice gauge
+theory: sweeps over lattice sites multiplying spinor vectors by gauge-link
+matrices.  Link matrices are heavily reused across sites (the lattice is
+locally ordered), while spinor data is less predictable.  Table 2 reports
+moderate coverage (9% drvp-dead, 13% dead+lv at ~99% accuracy); su2cor is in
+the Figure 7 reallocation study.
+
+The model sweeps lattice sites two at a time: per site it loads a gauge link
+(drawn from a small quantised pool with spatial runs) and a spinor component
+(weakly structured), then accumulates ``link*spinor``:
+
+* Link loads alternate between ``f1`` (site A) and ``f5`` (site B); link runs
+  make each load's value match the other, then-dead register — legal
+  dead-register merges for the reallocator.
+* Site A's link register ``f1`` is clobbered by a normalisation temporary at
+  the end of the iteration (Figure 2c), so A's run-locality needs the
+  last-value reallocation.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..isa.builder import ProgramBuilder
+from ..isa.program import Program
+from ..isa.registers import F, R
+from ..sim.memory import Memory
+from .base import HEADER_BASE, SCRATCH_BASE, Workload
+from . import data
+
+_LINKS = 0
+_SPINOR = 1
+_OUT = 2
+
+
+class Su2corWorkload(Workload):
+    name = "su2cor"
+    category = "F"
+    description = "Lattice sweep: pooled gauge links times weakly-structured spinors"
+
+    def _build_program(self) -> Program:
+        b = ProgramBuilder(self.name)
+        links = self.array_base(_LINKS)
+        spinor = self.array_base(_SPINOR)
+        out = self.array_base(_OUT)
+        with b.procedure("main"):
+            b.li(R[9], HEADER_BASE)
+            b.ld(R[10], R[9], 0)  # sweeps
+            b.ld(R[11], R[9], 8)  # site pairs per sweep
+            b.label("sweep_loop")
+            b.li(R[12], links)
+            b.li(R[13], spinor)
+            b.li(R[15], out)
+            b.li(R[14], 0)
+            b.label("site_loop")
+            # --- site A ---
+            b.fld(F[1], R[12], 0)  # gauge link (pool + runs)
+            b.fld(F[2], R[13], 0)  # spinor component
+            b.fmul(F[3], F[1], F[2])
+            # --- site B ---
+            b.fld(F[5], R[12], 8)  # gauge link (dead-correlates with f1)
+            b.fld(F[6], R[13], 8)
+            b.fmul(F[7], F[5], F[6])
+            b.fadd(F[4], F[3], F[7])
+            b.fst(F[4], R[15], 0)
+            # Unitarity check: link mismatch is 0 within runs, so the
+            # accumulated violation is a serial chain of stable values.
+            b.fsub(F[10], F[1], F[5])
+            b.fmul(F[11], F[10], F[10])
+            b.fadd(F[9], F[9], F[11])
+            # Figure 2c: normalisation temporary clobbers f1.
+            b.fsub(F[1], F[3], F[7])
+            b.fst(F[1], R[15], 0x80000)
+            b.addi(R[12], R[12], 16)
+            b.addi(R[13], R[13], 16)
+            b.addi(R[15], R[15], 8)
+            b.addi(R[14], R[14], 1)
+            b.cmplt(R[1], R[14], R[11])
+            b.bne(R[1], "site_loop")
+            b.subi(R[10], R[10], 1)
+            b.bne(R[10], "sweep_loop")
+            b.halt()
+        return b.build()
+
+    def _populate_memory(self, memory: Memory, rng: np.random.Generator) -> None:
+        pairs = self.n(600)
+        sweeps = self.n(4)
+        # Quantised SU(2) link pool: 6 distinct values, strong spatial runs.
+        pool = [int(v) for v in rng.integers(1, 1 << 10, size=6)]
+        link_values = data.run_lengths(rng, 2 * pairs, pool, mean_run=8.0)
+        spinor_values = data.smooth_field(rng, 2 * pairs, levels=24, step_prob=0.55)
+        self.write_header(memory, sweeps, pairs)
+        memory.write_words(self.array_base(_LINKS), link_values)
+        memory.write_words(self.array_base(_SPINOR), spinor_values)

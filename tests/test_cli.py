@@ -1,0 +1,60 @@
+"""CLI tests (python -m repro ...)."""
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+def run_cli(capsys, *argv):
+    code = main(list(argv))
+    out = capsys.readouterr().out
+    return code, out
+
+
+def test_list_command(capsys):
+    code, out = run_cli(capsys, "list")
+    assert code == 0
+    for name in ("go", "m88ksim", "turb3d"):
+        assert name in out
+    assert "drvp_all_dead_lv" in out and "no_predict" in out
+
+
+def test_run_command(capsys):
+    code, out = run_cli(
+        capsys, "run", "--workload", "go", "--config", "no_predict", "drvp_all", "--max-insts", "6000"
+    )
+    assert code == 0
+    assert "go" in out and "drvp_all" in out
+    assert "speedups" in out  # no_predict present -> speedup table
+
+
+def test_profile_command(capsys):
+    code, out = run_cli(capsys, "profile", "--workload", "perl", "--max-insts", "8000")
+    assert code == 0
+    assert "load reuse" in out and "lists" in out
+
+
+def test_realloc_command(capsys):
+    code, out = run_cli(capsys, "realloc", "--workload", "mgrid", "--max-insts", "8000")
+    assert code == 0
+    assert "applied" in out
+
+
+def test_recovery_and_wide_flags(capsys):
+    code, out = run_cli(
+        capsys,
+        "run", "--workload", "go", "--config", "no_predict",
+        "--recovery", "refetch", "--wide", "--max-insts", "5000",
+    )
+    assert code == 0 and "refetch" in out
+
+
+def test_bad_workload_rejected():
+    parser = build_parser()
+    with pytest.raises(SystemExit):
+        parser.parse_args(["run", "--workload", "gcc"])
+
+
+def test_missing_command_rejected():
+    with pytest.raises(SystemExit):
+        build_parser().parse_args([])

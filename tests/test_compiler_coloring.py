@@ -1,0 +1,104 @@
+"""Interference-graph and Chaitin colouring tests."""
+
+from repro.isa import F, R, assemble
+from repro.compiler import ColorNode, build_interference, build_webs, color_graph, compute_liveness, interferes
+
+
+def analysis_of(text):
+    program = assemble(text)
+    proc = program.procedures[0]
+    liveness = compute_liveness(program, proc)
+    webs = build_webs(program, proc, liveness)
+    return webs, build_interference(webs.webs)
+
+
+def test_overlapping_webs_interfere():
+    webs, adj = analysis_of(
+        """
+        li r1, #1
+        li r2, #2
+        add r3, r1, r2
+        halt
+        """
+    )
+    a = webs.web_of_def(0).index
+    b = webs.web_of_def(1).index
+    assert interferes(adj, a, b) and interferes(adj, b, a)
+
+
+def test_sequential_webs_do_not_interfere():
+    webs, adj = analysis_of(
+        """
+        li r1, #1
+        add r2, r1, #1
+        li r3, #2
+        add r4, r3, #1
+        halt
+        """
+    )
+    # r1's web dies at pc1 before r3's web is born at pc2.
+    a = webs.web_of_def(0).index
+    b = webs.web_of_def(2).index
+    assert not interferes(adj, a, b)
+
+
+def test_int_and_fp_never_interfere():
+    webs, adj = analysis_of(
+        """
+        li r1, #1
+        fli f1, #2
+        add r2, r1, #1
+        fadd f2, f1, f1
+        halt
+        """
+    )
+    a = webs.web_of_def(0).index
+    b = webs.web_of_def(1).index
+    assert not interferes(adj, a, b)
+
+
+def test_color_simple_graph():
+    nodes = [
+        ColorNode(0, "int", preferred=R[1]),
+        ColorNode(1, "int", preferred=R[2]),
+        ColorNode(2, "int", preferred=R[1]),
+    ]
+    adjacency = {0: {1}, 1: {0, 2}, 2: {1}}
+    result = color_graph(nodes, adjacency)
+    assert result.ok
+    assert result.assignment[0] != result.assignment[1]
+    assert result.assignment[1] != result.assignment[2]
+    # Preferences honoured where legal.
+    assert result.assignment[0] == R[1] and result.assignment[2] == R[1]
+
+
+def test_fixed_nodes_keep_their_register():
+    nodes = [
+        ColorNode(0, "int", preferred=R[5], fixed=R[5]),
+        ColorNode(1, "int", preferred=R[5]),
+    ]
+    result = color_graph(nodes, {0: {1}, 1: {0}})
+    assert result.ok
+    assert result.assignment[0] == R[5] and result.assignment[1] != R[5]
+
+
+def test_uncolorable_clique_reported():
+    from repro.isa.registers import ALLOCATABLE_INT
+
+    k = len(ALLOCATABLE_INT)
+    n = k + 1
+    nodes = [ColorNode(i, "int", preferred=ALLOCATABLE_INT[i % k]) for i in range(n)]
+    adjacency = {i: set(range(n)) - {i} for i in range(n)}
+    result = color_graph(nodes, adjacency)
+    assert not result.ok and len(result.uncolored) >= 1
+    # Everything colored is still conflict-free.
+    for node, reg in result.assignment.items():
+        for other in adjacency[node]:
+            if other in result.assignment:
+                assert result.assignment[other] != reg
+
+
+def test_coloring_respects_fp_pool():
+    nodes = [ColorNode(0, "fp", preferred=F[2])]
+    result = color_graph(nodes, {0: set()})
+    assert result.assignment[0].is_fp

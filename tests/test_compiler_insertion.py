@@ -1,0 +1,75 @@
+"""Instruction-insertion tests (label/procedure remapping)."""
+
+import pytest
+
+from repro.compiler import insert_after
+from repro.isa import Instruction, R, assemble, opcode
+from repro.sim import Memory, run_program
+
+PROGRAM = """
+.proc main
+main:
+    li r1, #3
+loop:
+    sub r1, r1, #1
+    bne r1, loop
+    jsr r26, tail
+    halt
+.proc tail
+tail:
+    ret r26
+"""
+
+
+def nop():
+    return Instruction(op=opcode("nop"))
+
+
+def test_insertion_shifts_pcs_and_labels():
+    program = assemble(PROGRAM)
+    new_program, pc_map = insert_after(program, {0: [nop()]})
+    assert len(new_program) == len(program) + 1
+    assert pc_map[0] == 0 and pc_map[1] == 2
+    # 'loop' label still points at the original sub.
+    assert new_program[new_program.labels["loop"]].op.name == "sub"
+    # The branch target resolves to the shifted label.
+    bne = next(i for i in new_program if i.op.name == "bne")
+    assert bne.target_pc == new_program.labels["loop"]
+
+
+def test_insertion_preserves_procedures():
+    program = assemble(PROGRAM)
+    new_program, pc_map = insert_after(program, {1: [nop(), nop()]})
+    main = new_program.procedure("main")
+    tail = new_program.procedure("tail")
+    assert main.end == tail.start
+    assert new_program[tail.start].op.name == "ret"
+    # Inserted nops belong to main.
+    assert new_program[pc_map[1] + 1].op.name == "nop"
+    assert pc_map[1] + 1 in main
+
+
+def test_insertion_after_last_instruction_of_procedure():
+    program = assemble(PROGRAM)
+    halt_pc = next(i.pc for i in program if i.is_halt)
+    new_program, _ = insert_after(program, {halt_pc: [nop()]})
+    main = new_program.procedure("main")
+    assert new_program[main.end - 1].op.name == "nop"
+
+
+def test_out_of_range_rejected():
+    program = assemble(PROGRAM)
+    with pytest.raises(ValueError, match="out of range"):
+        insert_after(program, {99: [nop()]})
+
+
+def test_inserted_dead_code_preserves_semantics():
+    program = assemble(PROGRAM)
+    # Insert a write to an otherwise-unused register everywhere.
+    shadow = Instruction(op=opcode("add"), dst=R[20], src1=R[1], imm=7)
+    insertions = {pc: [shadow] for pc in range(len(program) - 2)}
+    new_program, _ = insert_after(program, insertions)
+    a = run_program(program, memory=Memory(), max_instructions=1000)
+    b = run_program(new_program, memory=Memory(), max_instructions=1000)
+    assert a.memory == b.memory and a.halted and b.halted
+    assert b.instructions > a.instructions  # the shadows execute

@@ -1,0 +1,106 @@
+"""Liveness dataflow tests."""
+
+from repro.isa import R, assemble
+from repro.isa.registers import ARG_REGS, STACK_POINTER
+from repro.compiler import compute_liveness, defs_and_uses
+
+
+def liveness_of(text, proc_name="main"):
+    program = assemble(text)
+    proc = program.procedure(proc_name) if any(p.name == proc_name for p in program.procedures) else program.procedures[0]
+    return program, proc, compute_liveness(program, proc)
+
+
+def test_straightline_liveness():
+    program, proc, info = liveness_of(
+        """
+        li r1, #1
+        li r2, #2
+        add r3, r1, r2
+        st r3, 0(r31)
+        halt
+        """
+    )
+    assert info.is_live_in(2, R[1]) and info.is_live_in(2, R[2])
+    assert not info.is_live_out(2, R[1])  # last use at the add
+    assert info.is_live_out(2, R[3]) and not info.is_live_out(3, R[3])
+
+
+def test_loop_carried_liveness():
+    program, proc, info = liveness_of(
+        """
+        li r1, #10
+    loop:
+        sub r1, r1, #1
+        bne r1, loop
+        halt
+        """
+    )
+    # The counter is live around the back edge.
+    assert info.is_live_in(1, R[1])
+    assert info.is_live_out(2, R[1])
+
+
+def test_dead_on_one_path():
+    program, proc, info = liveness_of(
+        """
+        li r1, #5
+        beq r31, skip
+        add r2, r1, #1
+    skip:
+        halt
+        """
+    )
+    # r1 used on the fallthrough path -> live after its definition.
+    assert info.is_live_out(0, R[1])
+
+
+def test_call_implicit_effects():
+    program = assemble(
+        """
+    .proc main
+    main:
+        jsr r26, callee
+        halt
+    .proc callee
+    callee:
+        ret r26
+        """
+    )
+    jsr = program[0]
+    defs, uses = defs_and_uses(jsr)
+    assert set(ARG_REGS) <= uses and STACK_POINTER in uses
+    assert R[1] in defs  # volatiles clobbered
+    assert R[9] not in defs  # callee-saved preserved
+    assert R[26] in defs  # link register
+
+
+def test_exit_keeps_nonvolatiles_live():
+    program, proc, info = liveness_of(
+        """
+        li r9, #5
+        li r1, #5
+        halt
+        """
+    )
+    # Callee-saved r9 is implicitly used at the exit; volatile r1 is not.
+    assert info.is_live_out(0, R[9])
+    assert not info.is_live_out(1, R[1])
+
+
+def test_liveness_confined_to_procedure():
+    program = assemble(
+        """
+    .proc main
+    main:
+        li r1, #1
+        halt
+    .proc other
+    other:
+        add r2, r1, #1
+        ret r26
+        """
+    )
+    info = compute_liveness(program, program.procedure("main"))
+    # The other procedure's use of r1 must not leak into main's analysis.
+    assert not info.is_live_out(0, R[1])

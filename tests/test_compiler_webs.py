@@ -1,0 +1,112 @@
+"""Web (du-chain) construction tests."""
+
+from repro.isa import R, assemble
+from repro.compiler import build_webs, compute_liveness
+
+
+def webs_of(text, proc_name=None):
+    program = assemble(text)
+    proc = program.procedure(proc_name) if proc_name else program.procedures[0]
+    liveness = compute_liveness(program, proc)
+    return program, build_webs(program, proc, liveness)
+
+
+def test_disjoint_defs_make_separate_webs():
+    program, analysis = webs_of(
+        """
+        li r1, #1
+        add r2, r1, #1
+        li r1, #2
+        add r3, r1, #1
+        halt
+        """
+    )
+    w0 = analysis.web_of_def(0)
+    w2 = analysis.web_of_def(2)
+    assert w0 is not None and w2 is not None and w0.index != w2.index
+    assert analysis.web_of_use(1, "src1").index == w0.index
+    assert analysis.web_of_use(3, "src1").index == w2.index
+
+
+def test_merging_defs_through_common_use():
+    program, analysis = webs_of(
+        """
+        li r1, #1
+        beq r31, other
+        li r2, #10
+        br join
+    other:
+        li r2, #20
+    join:
+        add r3, r2, #1
+        halt
+        """
+    )
+    # Both definitions of r2 reach the join use -> one web.
+    assert analysis.web_of_def(2).index == analysis.web_of_def(4).index
+
+
+def test_loop_web_includes_backedge_flow():
+    program, analysis = webs_of(
+        """
+        li r1, #10
+    loop:
+        sub r1, r1, #1
+        bne r1, loop
+        halt
+        """
+    )
+    # init def and loop def reach the same uses -> single web.
+    assert analysis.web_of_def(0).index == analysis.web_of_def(1).index
+    web = analysis.web_of_def(0)
+    assert 1 in web.live_pcs and 2 in web.live_pcs
+
+
+def test_fixed_webs_at_convention_boundaries():
+    program, analysis = webs_of(
+        """
+    .proc main
+    main:
+        li r16, #1
+        jsr r26, callee
+        halt
+    .proc callee
+    callee:
+        ret r26
+        """,
+        proc_name="main",
+    )
+    # The argument web is consumed by the call's implicit use -> fixed.
+    arg_web = analysis.web_of_def(0)
+    assert arg_web.fixed
+
+
+def test_plain_temp_web_not_fixed():
+    program, analysis = webs_of(
+        """
+        li r1, #1
+        add r2, r1, #1
+        st r2, 0(r31)
+        halt
+        """
+    )
+    assert not analysis.web_of_def(0).fixed
+    assert not analysis.web_of_def(1).fixed
+
+
+def test_callee_saved_reaching_exit_is_fixed():
+    program, analysis = webs_of(
+        """
+        li r9, #1
+        st r9, 0(r31)
+        halt
+        """
+    )
+    # r9 (non-volatile) reaches the implicit exit use -> fixed.
+    assert analysis.web_of_def(0).fixed
+
+
+def test_live_pcs_cover_definition_points():
+    program, analysis = webs_of("li r1, #1\nadd r2, r1, #1\nst r2, 0(r31)\nhalt")
+    web = analysis.web_of_def(0)
+    assert 0 in web.live_pcs and 1 in web.live_pcs

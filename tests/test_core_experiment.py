@@ -1,0 +1,93 @@
+"""Experiment runner and result-table tests."""
+
+import pytest
+
+from repro.core import CONFIG_NAMES, ExperimentRunner, ResultTable
+from repro.uarch import RecoveryScheme, aggressive_config
+
+
+@pytest.fixture(scope="module")
+def runner():
+    return ExperimentRunner("mgrid", max_instructions=15_000)
+
+
+def test_all_config_names_run(runner):
+    for config in CONFIG_NAMES:
+        result = runner.run(config)
+        assert result.workload == "mgrid" and result.config == config
+        assert result.stats.committed > 1000
+        assert result.ipc > 0
+
+
+def test_unknown_config_rejected(runner):
+    with pytest.raises(ValueError, match="unknown configuration"):
+        runner.run("magic")
+
+
+def test_profiles_come_from_train_input(runner):
+    profile = runner.train_profile()
+    assert profile.sites  # collected
+    # Lists are cached per (threshold, loads_only).
+    assert runner.profile_lists(0.8) is runner.profile_lists(0.8)
+    assert runner.profile_lists(0.8) is not runner.profile_lists(0.9)
+
+
+def test_program_variants(runner):
+    base = runner.program_variant("base")
+    marked = runner.program_variant("srvp_dead")
+    realloc = runner.program_variant("realloc")
+    assert len(base) == len(marked) == len(realloc)
+    assert any(inst.op.rvp_marked for inst in marked)
+    assert not any(inst.op.rvp_marked for inst in base)
+    with pytest.raises(ValueError, match="unknown program variant"):
+        runner.program_variant("optimised")
+
+
+def test_no_predict_is_deterministic(runner):
+    a = runner.run("no_predict")
+    b = runner.run("no_predict")
+    assert a.stats.cycles == b.stats.cycles
+
+
+def test_recovery_scheme_recorded(runner):
+    result = runner.run("drvp_all", recovery=RecoveryScheme.REFETCH)
+    assert result.recovery == "refetch"
+
+
+def test_machine_override():
+    narrow = ExperimentRunner("go", max_instructions=8_000)
+    wide = ExperimentRunner("go", machine=aggressive_config(), max_instructions=8_000)
+    assert wide.run("no_predict").ipc >= narrow.run("no_predict").ipc - 0.05
+
+
+def test_realloc_report_available_after_variant(runner):
+    runner.run("drvp_all_realloc")
+    assert runner.realloc_report is not None
+
+
+# ----------------------------------------------------------------------
+# ResultTable
+# ----------------------------------------------------------------------
+def test_result_table_math(runner):
+    table = ResultTable()
+    base = runner.run("no_predict")
+    rvp = runner.run("drvp_all")
+    table.add(base)
+    table.add(rvp)
+    assert table.ipc("mgrid", "no_predict") == pytest.approx(base.ipc)
+    assert table.speedup("mgrid", "no_predict") == pytest.approx(1.0)
+    assert table.speedup("mgrid", "drvp_all") == pytest.approx(rvp.ipc / base.ipc)
+    assert table.mean_speedup("drvp_all") == pytest.approx(rvp.ipc / base.ipc)
+    assert table.coverage("mgrid", "drvp_all") == pytest.approx(rvp.stats.coverage)
+
+
+def test_result_table_rendering(runner):
+    table = ResultTable()
+    table.add(runner.run("no_predict"))
+    table.add(runner.run("lvp"))
+    ipc_text = table.render_ipc("IPC")
+    speedup_text = table.render_speedup("SP")
+    coverage_text = table.render_coverage("COV")
+    assert "mgrid" in ipc_text and "lvp" in ipc_text
+    assert "average" in speedup_text
+    assert "/" in coverage_text  # cov/acc cells

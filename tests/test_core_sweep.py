@@ -1,0 +1,46 @@
+"""Parameter-sweep utility tests."""
+
+from dataclasses import replace
+
+from repro.core import render_sweep, speedup_series, sweep, sweep_machine
+from repro.uarch import table1_config
+
+
+def test_sweep_machine_iq_sizes():
+    rows = sweep_machine(
+        "iq",
+        [16, 32],
+        lambda iq: replace(table1_config(), iq_int=iq, iq_fp=iq),
+        workloads=("go",),
+        configs=("no_predict",),
+        max_instructions=6_000,
+    )
+    assert (16, "go", "no_predict") in rows and (32, "go", "no_predict") in rows
+    # A larger instruction queue never slows the baseline down.
+    assert rows[(32, "go", "no_predict")] >= rows[(16, "go", "no_predict")] - 1e-9
+
+
+def test_speedup_series():
+    rows = {
+        (1, "go", "no_predict"): 1.0,
+        (1, "go", "drvp_all"): 1.1,
+        (2, "go", "no_predict"): 1.0,
+        (2, "go", "drvp_all"): 1.3,
+    }
+    series = speedup_series(rows, "go", "drvp_all")
+    assert series == {1: 1.1, 2: 1.3}
+
+
+def test_generic_sweep():
+    out = sweep([1, 2, 3], lambda p: {"square": p * p})
+    assert out[3]["square"] == 9
+
+
+def test_render_sweep():
+    rows = {
+        (16, "go", "no_predict"): 1.234,
+        (32, "go", "no_predict"): 1.456,
+    }
+    text = render_sweep(rows, "IQ sweep")
+    assert "IQ sweep" in text and "1.234" in text and "1.456" in text
+    assert "go/no_predict" in text

@@ -1,0 +1,74 @@
+"""End-to-end integration tests: the paper's headline results in miniature."""
+
+import pytest
+
+from repro.core import ExperimentRunner, ResultTable
+from repro.uarch import RecoveryScheme
+
+BUDGET = 25_000
+
+
+@pytest.fixture(scope="module")
+def m88k():
+    return ExperimentRunner("m88ksim", max_instructions=BUDGET)
+
+
+@pytest.fixture(scope="module")
+def mgrid():
+    return ExperimentRunner("mgrid", max_instructions=BUDGET)
+
+
+def test_rvp_speeds_up_the_interpreter(m88k):
+    """m88ksim: dynamic RVP with the dead list captures the store-load pc
+    chain (Figure 2b) and delivers the suite's largest speedup."""
+    base = m88k.run("no_predict").ipc
+    lvp = m88k.run("lvp_all").ipc
+    dead = m88k.run("drvp_all_dead").ipc
+    assert dead / base > 1.15
+    assert dead > lvp
+
+
+def test_confidence_keeps_accuracy_high(m88k):
+    for config in ("drvp_all", "lvp_all"):
+        stats = m88k.run(config).stats
+        assert stats.accuracy > 0.9, config
+
+
+def test_static_rvp_pipeline_runs_marked_program(mgrid):
+    result = mgrid.run("srvp_dead")
+    assert result.stats.predictions > 0
+    assert result.stats.accuracy > 0.8
+
+
+def test_recovery_ordering_on_interpreter(m88k):
+    base = m88k.run("no_predict").ipc
+    results = {
+        scheme: m88k.run("drvp_all_dead", recovery=scheme).ipc / base for scheme in RecoveryScheme
+    }
+    # Selective reissue is the best of the three (paper Section 7.1.1).
+    assert results[RecoveryScheme.SELECTIVE] >= max(results.values()) - 1e-9
+    # All three still deliver gains here.
+    assert min(results.values()) > 1.0
+
+
+def test_gabbay_interference_hurts_coverage(m88k):
+    grp = m88k.run("grp_all").stats
+    rvp = m88k.run("drvp_all").stats
+    # Per-register counters lose coverage to per-pc counters on code whose
+    # temps are shared by many instructions.
+    assert grp.coverage < rvp.coverage
+
+
+def test_realistic_realloc_between_base_and_ideal(mgrid):
+    base = mgrid.run("drvp_all").ipc
+    realloc = mgrid.run("drvp_all_realloc").ipc
+    ideal = mgrid.run("drvp_all_dead_lv").ipc
+    assert realloc >= base - 0.01
+    assert realloc <= max(ideal, base) * 1.03
+
+
+def test_train_ref_profile_transfer(mgrid):
+    """Profiles collected on train transfer to ref (the paper's finding that
+    value locality is stable across inputs)."""
+    stats = mgrid.run("drvp_all_dead").stats
+    assert stats.accuracy > 0.9  # hints learned on train hold on ref

@@ -1,0 +1,98 @@
+"""Text assembler tests, including render/assemble round-trips."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.isa import AssemblerError, F, R, assemble
+
+from conftest import random_program
+
+EXAMPLE = """
+.proc main
+main:
+    li   r1, #0
+    li   r2, #8192
+loop:
+    ld   r3, 0(r2)      ; load element
+    add  r1, r1, r3
+    add  r2, r2, #8
+    sub  r4, r2, #8256
+    bne  r4, loop
+    st   r1, 0(r31)
+    fld  f1, 8(r2)
+    fadd f2, f1, f1
+    jsr  r26, helper
+    halt
+.proc helper
+helper:
+    mov  r0, r1
+    ret  r26
+"""
+
+
+def test_assemble_example():
+    p = assemble(EXAMPLE, name="example")
+    assert p.name == "example"
+    assert [proc.name for proc in p.procedures] == ["main", "helper"]
+    assert p.labels["loop"] == 2
+    assert p[2].op.name == "ld" and p[2].dst == R[3]
+    assert p[6].target_pc == 2
+    fadd = p[9]
+    assert fadd.dst == F[2] and fadd.src1 == F[1]
+
+
+def test_comments_and_blank_lines_ignored():
+    p = assemble("; leading comment\n\n  halt ; trailing\n")
+    assert len(p) == 1 and p[0].is_halt
+
+
+def test_label_on_same_line_as_instruction():
+    p = assemble("start: halt")
+    assert p.labels["start"] == 0
+
+
+@pytest.mark.parametrize(
+    "text,message",
+    [
+        ("frob r1, r2", "unknown opcode"),
+        ("add r1, r2", "expects 3"),
+        ("ld r1, r2", "offset"),
+        ("beq r1, #5", "label target"),
+        ("li r1, r2", "immediate"),
+        ("add r1, #3, r2", "must be a register"),
+        ("x: x: halt", "duplicate label"),
+        ("br undefined_place", "undefined label"),
+        (".proc", "exactly one name"),
+    ],
+)
+def test_syntax_errors(text, message):
+    with pytest.raises((AssemblerError, ValueError), match=message):
+        assemble(text)
+
+
+def test_error_carries_line_number():
+    try:
+        assemble("halt\nfrob r1\n")
+    except AssemblerError as exc:
+        assert exc.lineno == 2
+    else:  # pragma: no cover
+        pytest.fail("expected AssemblerError")
+
+
+def test_negative_offsets_and_hex_immediates():
+    p = assemble("ld r1, -16(r2)\nli r3, #0x40\nhalt")
+    assert p[0].imm == -16
+    assert p[1].imm == 0x40
+
+
+@settings(max_examples=25, deadline=None)
+@given(st.integers(min_value=0, max_value=10_000))
+def test_render_assemble_roundtrip(seed):
+    """assemble(render(p)) reproduces every instruction of random programs."""
+    p = random_program(seed)
+    q = assemble(p.render(), name=p.name)
+    assert len(q) == len(p)
+    for a, b in zip(p, q):
+        assert a.render() == b.render()
+        assert a.op.name == b.op.name and a.target_pc == b.target_pc
+    assert [pr.name for pr in q.procedures] == [pr.name for pr in p.procedures]

@@ -1,0 +1,84 @@
+"""ProgramBuilder tests."""
+
+import pytest
+
+from repro.isa import ProgramBuilder, R, RETURN_ADDRESS
+
+
+def test_here_tracks_position():
+    b = ProgramBuilder()
+    assert b.here == 0
+    b.li(R[1], 0)
+    assert b.here == 1
+
+
+def test_emit_returns_pc():
+    b = ProgramBuilder()
+    assert b.li(R[1], 0) == 0
+    assert b.addi(R[1], R[1], 1) == 1
+
+
+def test_duplicate_label_rejected():
+    b = ProgramBuilder()
+    b.label("x")
+    with pytest.raises(ValueError, match="duplicate"):
+        b.label("x")
+
+
+def test_fresh_labels_unique():
+    b = ProgramBuilder()
+    names = {b.fresh_label("L") for _ in range(100)}
+    assert len(names) == 100
+
+
+def test_nested_procedures_rejected():
+    b = ProgramBuilder()
+    with pytest.raises(ValueError, match="nest"):
+        with b.procedure("outer"):
+            with b.procedure("inner"):
+                pass  # pragma: no cover
+
+
+def test_unclosed_procedure_rejected():
+    b = ProgramBuilder()
+    cm = b.procedure("open")
+    cm.__enter__()
+    with pytest.raises(ValueError, match="still open"):
+        b.build()
+
+
+def test_procedure_binds_entry_label():
+    b = ProgramBuilder()
+    with b.procedure("main"):
+        b.halt()
+    p = b.build()
+    assert p.labels["main"] == 0
+    assert p.procedure("main").start == 0 and p.procedure("main").end == 1
+
+
+def test_alu_sugar_register_vs_immediate():
+    b = ProgramBuilder()
+    b.add(R[1], R[2], R[3])
+    b.add(R[1], R[2], 5)
+    b.halt()
+    p = b.build()
+    assert p[0].src2 == R[3] and p[0].imm is None
+    assert p[1].imm == 5 and p[1].src2 is None
+
+
+def test_jsr_default_link_register():
+    b = ProgramBuilder()
+    with b.procedure("main"):
+        b.jsr("main")
+        b.halt()
+    p = b.build()
+    assert p[0].dst == RETURN_ADDRESS
+
+
+def test_store_operand_placement():
+    b = ProgramBuilder()
+    b.st(R[5], R[2], 16)
+    b.halt()
+    p = b.build()
+    st = p[0]
+    assert st.src1 == R[2] and st.src2 == R[5] and st.imm == 16

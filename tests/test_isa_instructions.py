@@ -1,0 +1,89 @@
+"""Instruction dataclass tests: reads/writes, rewriting, rendering."""
+
+import pytest
+
+from repro.isa import F, Instruction, R, opcode
+
+
+def make(op, **kw):
+    return Instruction(op=opcode(op), **kw)
+
+
+def test_alu_reads_writes():
+    inst = make("add", dst=R[3], src1=R[1], src2=R[2])
+    assert inst.writes == R[3]
+    assert inst.reads == (R[1], R[2])
+
+
+def test_zero_register_write_is_discarded():
+    inst = make("add", dst=R[31], src1=R[1], src2=R[2])
+    assert inst.writes is None
+
+
+def test_store_reads_base_and_data():
+    inst = make("st", src1=R[2], src2=R[5], imm=16)
+    assert inst.writes is None
+    assert set(inst.reads) == {R[2], R[5]}
+    assert inst.is_store and not inst.is_load
+
+
+def test_load_fields():
+    inst = make("ld", dst=R[4], src1=R[2], imm=8)
+    assert inst.is_load and inst.writes == R[4] and inst.reads == (R[2],)
+
+
+def test_branch_classification():
+    inst = make("beq", src1=R[1], target="loop")
+    assert inst.is_control and inst.is_conditional
+    assert make("br", target="x").is_control
+    assert not make("br", target="x").is_conditional
+    assert make("halt").is_halt
+
+
+def test_rewrite_registers():
+    inst = make("add", dst=R[3], src1=R[1], src2=R[3])
+    out = inst.rewrite_registers({R[3]: R[7]})
+    assert out.dst == R[7] and out.src2 == R[7] and out.src1 == R[1]
+    # Original untouched (instructions are immutable).
+    assert inst.dst == R[3]
+
+
+def test_rewrite_never_touches_zero():
+    inst = make("add", dst=R[1], src1=R[31], imm=1)
+    out = inst.rewrite_registers({R[31]: R[7]})
+    assert out.src1 == R[31]
+
+
+def test_rvp_marking_roundtrip():
+    load = make("ld", dst=R[4], src1=R[2], imm=0)
+    marked = load.as_rvp_marked()
+    assert marked.op.name == "rvp_ld" and marked.op.rvp_marked
+    assert marked.as_rvp_marked().op.name == "rvp_ld"  # idempotent
+    assert marked.without_rvp_mark().op.name == "ld"
+    fload = make("fld", dst=F[4], src1=R[2], imm=0)
+    assert fload.as_rvp_marked().op.name == "rvp_fld"
+
+
+def test_rvp_marking_rejects_non_loads():
+    with pytest.raises(ValueError):
+        make("add", dst=R[1], src1=R[2], imm=3).as_rvp_marked()
+
+
+@pytest.mark.parametrize(
+    "inst,text",
+    [
+        (make("add", dst=R[3], src1=R[1], src2=R[2]), "add r3, r1, r2"),
+        (make("add", dst=R[3], src1=R[1], imm=5), "add r3, r1, #5"),
+        (make("li", dst=R[3], imm=7), "li r3, #7"),
+        (make("ld", dst=R[4], src1=R[2], imm=16), "ld r4, 16(r2)"),
+        (make("st", src1=R[2], src2=R[5], imm=-8), "st r5, -8(r2)"),
+        (make("beq", src1=R[1], target="loop"), "beq r1, loop"),
+        (make("jsr", dst=R[26], target="fn"), "jsr r26, fn"),
+        (make("ret", src1=R[26]), "ret r26"),
+        (make("halt"), "halt"),
+        (make("mov", dst=R[2], src1=R[1]), "mov r2, r1"),
+    ],
+)
+def test_render(inst, text):
+    assert inst.render() == text
+    assert str(inst) == text

@@ -1,0 +1,105 @@
+"""Opcode table and ALU semantics tests."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.isa import MASK64, OPCODES, FuClass, OpKind, opcode, to_signed, to_unsigned
+
+u64 = st.integers(min_value=0, max_value=MASK64)
+
+
+def test_table_contains_core_opcodes():
+    for name in ("add", "sub", "mul", "ld", "st", "beq", "br", "jsr", "ret", "halt", "rvp_ld", "rvp_fld"):
+        assert name in OPCODES
+
+
+def test_unknown_opcode_raises():
+    with pytest.raises(KeyError):
+        opcode("frobnicate")
+
+
+def test_rvp_marked_flags():
+    assert opcode("rvp_ld").rvp_marked and opcode("rvp_fld").rvp_marked
+    assert not opcode("ld").rvp_marked
+    assert opcode("rvp_fld").fp_dest
+
+
+def test_kind_predicates():
+    assert opcode("ld").is_load and opcode("ld").is_mem
+    assert opcode("st").is_store and not opcode("st").is_load
+    assert opcode("beq").is_control and opcode("jsr").is_control
+    assert opcode("add").writes_dest and not opcode("st").writes_dest
+    assert opcode("jsr").writes_dest  # link register
+
+
+def test_fu_classes():
+    assert opcode("fadd").fu is FuClass.FP
+    assert opcode("add").fu is FuClass.INT
+    assert opcode("ld").fu is FuClass.LDST
+    assert opcode("halt").fu is FuClass.NONE
+
+
+@given(u64, u64)
+def test_add_sub_inverse(a, b):
+    add = OPCODES["add"].alu_fn
+    sub = OPCODES["sub"].alu_fn
+    assert sub(add(a, b), b) == a
+
+
+@given(u64, u64)
+def test_alu_results_stay_in_domain(a, b):
+    for name in ("add", "sub", "mul", "and", "or", "xor", "sll", "srl", "sra", "div", "rem"):
+        result = OPCODES[name].alu_fn(a, b)
+        assert 0 <= result <= MASK64, name
+
+
+@given(u64)
+def test_signed_conversion_roundtrip(a):
+    assert to_unsigned(to_signed(a)) == a
+
+
+def test_signed_interpretation():
+    assert to_signed(MASK64) == -1
+    assert to_signed(1 << 63) == -(1 << 63)
+    assert to_signed(5) == 5
+
+
+def test_comparisons_are_signed():
+    cmplt = OPCODES["cmplt"].alu_fn
+    minus_one = MASK64
+    assert cmplt(minus_one, 0) == 1  # -1 < 0
+    assert cmplt(0, minus_one) == 0
+    cmpult = OPCODES["cmpult"].alu_fn
+    assert cmpult(minus_one, 0) == 0  # unsigned: max > 0
+
+
+def test_division_by_zero_yields_zero():
+    assert OPCODES["div"].alu_fn(42, 0) == 0
+    assert OPCODES["rem"].alu_fn(42, 0) == 0
+
+
+def test_division_truncates_toward_zero():
+    div = OPCODES["div"].alu_fn
+    assert to_signed(div(to_unsigned(-7), 2)) == -3
+    assert div(7, 2) == 3
+
+
+def test_shift_amount_masked_to_six_bits():
+    sll = OPCODES["sll"].alu_fn
+    assert sll(1, 64) == 1  # 64 & 63 == 0
+    assert sll(1, 65) == 2
+
+
+def test_branch_conditions():
+    assert OPCODES["beq"].cond_fn(0) and not OPCODES["beq"].cond_fn(1)
+    assert OPCODES["bne"].cond_fn(1) and not OPCODES["bne"].cond_fn(0)
+    assert OPCODES["blt"].cond_fn(MASK64)  # -1 < 0
+    assert OPCODES["bge"].cond_fn(0)
+    assert OPCODES["bgt"].cond_fn(1) and not OPCODES["bgt"].cond_fn(0)
+    assert OPCODES["ble"].cond_fn(0)
+
+
+def test_fp_ops_mirror_int_semantics():
+    assert OPCODES["fadd"].alu_fn(3, 4) == 7
+    assert OPCODES["fmul"].alu_fn(3, 4) == 12
+    assert OPCODES["fadd"].fp_dest and not OPCODES["ftoi"].fp_dest

@@ -1,0 +1,60 @@
+"""Critical-path profile tests."""
+
+from repro.isa import assemble
+from repro.profiling import critical_path_profile
+from repro.sim import Memory, run_program
+
+
+def crit_of(text, memory=None):
+    result = run_program(assemble(text), memory=memory, max_instructions=20_000, collect_trace=True)
+    return critical_path_profile(result.trace)
+
+
+def test_empty_trace():
+    assert critical_path_profile([]) == {}
+
+
+def test_serial_chain_dominates():
+    crit = crit_of(
+        """
+        li r2, #20
+    loop:
+        add r1, r1, #1     ; serial accumulator: two links per iteration,
+        add r1, r1, #1     ; twice as deep as the loop-counter chain
+        add r3, r31, #7    ; independent, off-chain
+        sub r2, r2, #1
+        bne r2, loop
+        halt
+        """
+    )
+    # The accumulator (pcs 1-2) dominates the path; the independent add
+    # (pc 3) never appears on it.
+    assert crit[1] + crit[2] > crit.get(4, 0)
+    assert crit.get(3, 0) == 0
+    assert crit[1] + crit[2] >= 30
+
+
+def test_memory_dependence_on_path():
+    memory = Memory()
+    crit = crit_of(
+        """
+        li r2, #16
+    loop:
+        ld r1, 0x40(r31)
+        add r1, r1, #1
+        st r1, 0x40(r31)
+        sub r2, r2, #1
+        bne r2, loop
+        halt
+        """,
+        memory,
+    )
+    # The load-add-store recurrence through memory forms the critical path.
+    assert crit[1] >= 10 and crit[2] >= 10 and crit[3] >= 10
+    assert crit.get(4, 0) < crit[1]
+
+
+def test_total_path_length_bounded_by_trace():
+    crit = crit_of("li r1, #1\nadd r1, r1, #1\nadd r1, r1, #1\nhalt")
+    assert sum(crit.values()) <= 4
+    assert crit[1] == 1 and crit[2] == 1

@@ -1,0 +1,67 @@
+"""Deadness analysis tests against hand-built traces."""
+
+from repro.isa import R, assemble
+from repro.profiling import reg_id, resolve_deadness
+from repro.sim import run_program
+
+
+def trace_of(text):
+    return run_program(assemble(text), max_instructions=1000, collect_trace=True).trace
+
+
+def test_reg_id_layout():
+    from repro.isa import F
+
+    assert reg_id(R[0]) == 0 and reg_id(R[31]) == 31
+    assert reg_id(F[0]) == 32 and reg_id(F[31]) == 63
+
+
+def test_read_before_write_is_live():
+    # r1 written at 0, read at 2 -> live at seq 1.
+    trace = trace_of("li r1, #5\nli r2, #0\nadd r3, r1, #1\nhalt")
+    result = resolve_deadness(trace, [(1, reg_id(R[1]))])
+    assert result[(1, reg_id(R[1]))] is False
+
+
+def test_write_before_read_is_dead():
+    # r1 overwritten at 2 without an intervening read -> dead at seq 1.
+    trace = trace_of("li r1, #5\nli r2, #0\nli r1, #9\nhalt")
+    result = resolve_deadness(trace, [(1, reg_id(R[1]))])
+    assert result[(1, reg_id(R[1]))] is True
+
+
+def test_never_touched_again_is_dead():
+    trace = trace_of("li r1, #5\nli r2, #0\nhalt")
+    result = resolve_deadness(trace, [(1, reg_id(R[1]))])
+    assert result[(1, reg_id(R[1]))] is True
+
+
+def test_own_instruction_read_keeps_register_live():
+    # Query at the very seq where the instruction reads r1.
+    trace = trace_of("li r1, #5\nadd r2, r1, #1\nli r1, #0\nhalt")
+    result = resolve_deadness(trace, [(1, reg_id(R[1]))])
+    assert result[(1, reg_id(R[1]))] is False
+
+
+def test_own_instruction_write_means_dead():
+    # At seq 1 the instruction overwrites r2 without reading it.
+    trace = trace_of("li r2, #3\nli r2, #4\nhalt")
+    result = resolve_deadness(trace, [(1, reg_id(R[2]))])
+    assert result[(1, reg_id(R[2]))] is True
+
+
+def test_queries_past_trace_end_default_dead():
+    trace = trace_of("li r1, #5\nhalt")
+    result = resolve_deadness(trace, [(99, reg_id(R[1]))])
+    assert result[(99, reg_id(R[1]))] is True
+
+
+def test_multiple_queries_one_pass():
+    trace = trace_of("li r1, #1\nli r2, #2\nadd r3, r1, r2\nli r1, #0\nhalt")
+    queries = [(2, reg_id(R[1])), (2, reg_id(R[2])), (3, reg_id(R[2]))]
+    result = resolve_deadness(trace, queries)
+    # At seq 2, both r1 and r2 are read by the add itself -> live.
+    assert result[(2, reg_id(R[1]))] is False
+    assert result[(2, reg_id(R[2]))] is False
+    # After the add, r2 is never touched again -> dead at seq 3.
+    assert result[(3, reg_id(R[2]))] is True

@@ -1,0 +1,54 @@
+"""ProfileLists hint-selection tests."""
+
+from repro.isa import F, R
+from repro.profiling import DeadHint, HintKind, ProfileLists
+
+
+def make_lists():
+    lists = ProfileLists(threshold=0.8)
+    lists.same.add(10)
+    lists.dead[20] = DeadHint(reg=R[4], producer_pc=5)
+    lists.live[30] = DeadHint(reg=R[6])
+    lists.last_value.update({40, 20})
+    return lists
+
+
+def test_same_takes_priority():
+    lists = make_lists()
+    lists.dead[10] = DeadHint(reg=R[2])
+    assert lists.hint_for(10, use_dead=True, use_lv=True) is HintKind.SAME
+
+
+def test_dead_hint_requires_flag():
+    lists = make_lists()
+    assert lists.hint_for(20) is None
+    assert lists.hint_for(20, use_dead=True) is HintKind.REG
+    assert lists.hint_reg(20) == R[4]
+
+
+def test_live_hint_ordering():
+    lists = make_lists()
+    assert lists.hint_for(30, use_dead=True) is None
+    assert lists.hint_for(30, use_dead=True, use_live=True) is HintKind.REG
+    assert lists.hint_reg(30, use_live=True) == R[6]
+    assert lists.hint_reg(30, use_live=False) is None
+
+
+def test_lv_hint_is_last_resort():
+    lists = make_lists()
+    assert lists.hint_for(40, use_dead=True, use_live=True) is None
+    assert lists.hint_for(40, use_lv=True) is HintKind.LAST_VALUE
+    # pc 20 is in both dead and lv: dead wins when enabled.
+    assert lists.hint_for(20, use_dead=True, use_lv=True) is HintKind.REG
+    assert lists.hint_for(20, use_lv=True) is HintKind.LAST_VALUE
+
+
+def test_unknown_pc_has_no_hint():
+    assert make_lists().hint_for(999, use_dead=True, use_live=True, use_lv=True) is None
+
+
+def test_candidate_pcs_accumulate():
+    lists = make_lists()
+    assert lists.candidate_pcs() == {10}
+    assert lists.candidate_pcs(use_dead=True) == {10, 20}
+    assert lists.candidate_pcs(use_dead=True, use_live=True, use_lv=True) == {10, 20, 30, 40}

@@ -1,0 +1,168 @@
+"""Register-reuse profiler tests with hand-constructed value patterns."""
+
+from repro.isa import F, ProgramBuilder, R, assemble
+from repro.profiling import ReuseProfile
+from repro.sim import Memory, run_program
+
+
+def profile_of(text, memory=None, budget=20_000):
+    result = run_program(assemble(text), memory=memory, max_instructions=budget, collect_trace=True)
+    return ReuseProfile.from_trace(result.trace)
+
+
+def test_same_register_reuse_counted():
+    # The load at pc 2 reloads the same (constant) word every iteration.
+    memory = Memory()
+    memory.store(0x100, 77)
+    profile = profile_of(
+        """
+        li r2, #16
+    loop:
+        ld r1, 0x100(r31)
+        sub r2, r2, #1
+        bne r2, loop
+        halt
+        """,
+        memory,
+    )
+    site = profile.sites[1]
+    assert site.is_load and site.count == 16
+    assert site.same_hits == 15  # all but the first execution
+    assert site.lv_hits == 15
+
+
+def test_dead_register_correlation_found_with_producer():
+    # r1 holds 55 (dead after pc1's use); the load at pc3 loads 55 too.
+    memory = Memory()
+    memory.store(0x100, 55)
+    profile = profile_of(
+        """
+        li r4, #12
+    loop:
+        li r1, #55
+        add r2, r1, #0
+        ld r3, 0x100(r31)
+        add r5, r3, r2
+        sub r4, r4, #1
+        bne r4, loop
+        halt
+        """,
+        memory,
+    )
+    load_site = next(s for s in profile.sites.values() if s.is_load)
+    best = load_site.best_dead()
+    assert best is not None
+    reg, rate, producer = best
+    assert reg == R[1] and rate > 0.9
+    assert producer == 1  # the `li r1, #55` inside the loop
+
+
+def test_live_register_correlation_separated_from_dead():
+    # r1 is read *after* the load every iteration -> live at load time.
+    memory = Memory()
+    memory.store(0x100, 55)
+    profile = profile_of(
+        """
+        li r4, #12
+    loop:
+        li r1, #55
+        ld r3, 0x100(r31)
+        add r2, r1, r3
+        sub r4, r4, #1
+        bne r4, loop
+        halt
+        """,
+        memory,
+    )
+    load_site = next(s for s in profile.sites.values() if s.is_load)
+    assert not load_site.dead_hits or load_site.best_dead()[1] < 0.5
+    any_best = load_site.best_any_reg()
+    assert any_best is not None and any_best[0] == R[1] and any_best[1] > 0.9
+
+
+def test_matches_restricted_to_destination_register_class():
+    # An fp load whose value sits in an int register must not be hinted to it.
+    memory = Memory()
+    memory.store(0x100, 55)
+    profile = profile_of(
+        """
+        li r4, #12
+    loop:
+        li r1, #55
+        fld f3, 0x100(r31)
+        fadd f2, f3, f3
+        sub r4, r4, #1
+        bne r4, loop
+        halt
+        """,
+        memory,
+    )
+    load_site = next(s for s in profile.sites.values() if s.is_load)
+    best = load_site.best_dead()
+    assert best is None or best[0].is_fp
+
+
+def test_fig1_fractions_cumulative_on_workload():
+    from repro.workloads import make_workload
+
+    workload = make_workload("mgrid")
+    result = run_program(*workload.build("ref"), max_instructions=30_000, collect_trace=True)
+    f = ReuseProfile.from_trace(result.trace).fig1.fractions()
+    assert 0 <= f["same"] <= f["dead"] <= f["any"] <= f["any_or_lvp"] <= 1
+
+
+def test_profile_lists_threshold_and_min_count():
+    memory = Memory()
+    memory.store(0x100, 7)
+    text = """
+        li r2, #20
+    loop:
+        ld r1, 0x100(r31)
+        sub r2, r2, #1
+        bne r2, loop
+        halt
+        """
+    profile = profile_of(text, memory)
+    lists = profile.profile_lists(threshold=0.8, min_count=8)
+    assert 1 in lists.same and 1 in lists.last_value
+    # Raising the threshold beyond the hit rate (19/20) excludes the site.
+    strict = profile.profile_lists(threshold=0.96, min_count=8)
+    assert 1 not in strict.same
+    # A high min_count excludes everything in this short run.
+    sparse = profile.profile_lists(threshold=0.8, min_count=1000)
+    assert not sparse.same and not sparse.dead and not sparse.last_value
+
+
+def test_loads_only_filter():
+    profile = profile_of(
+        """
+        li r2, #20
+    loop:
+        add r1, r31, #5
+        sub r2, r2, #1
+        bne r2, loop
+        halt
+        """
+    )
+    all_lists = profile.profile_lists(0.8, loads_only=False)
+    load_lists = profile.profile_lists(0.8, loads_only=True)
+    assert 1 in all_lists.same  # the constant add
+    assert 1 not in load_lists.same
+
+
+def test_zero_registers_never_matched():
+    # Loads of value 0 must not match r31/f31.
+    memory = Memory()  # all zeros
+    profile = profile_of(
+        """
+        li r2, #10
+    loop:
+        ld r1, 0x300(r31)
+        sub r2, r2, #1
+        bne r2, loop
+        halt
+        """,
+        memory,
+    )
+    site = next(s for s in profile.sites.values() if s.is_load)
+    assert 31 not in site.dead_hits and 31 not in site.live_hits

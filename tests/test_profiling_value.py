@@ -1,0 +1,71 @@
+"""Last-value profiler tests."""
+
+from repro.isa import assemble
+from repro.profiling import ValueProfile
+from repro.sim import Memory, run_program
+
+
+def profile_of(text, memory=None):
+    result = run_program(assemble(text), memory=memory, max_instructions=20_000, collect_trace=True)
+    return ValueProfile.from_trace(result.trace)
+
+
+def test_constant_site_fully_lv_predictable():
+    profile = profile_of(
+        """
+        li r2, #10
+    loop:
+        add r1, r31, #5
+        sub r2, r2, #1
+        bne r2, loop
+        halt
+        """
+    )
+    site = profile.sites[1]
+    assert site.count == 10 and site.lv_hits == 9
+    assert abs(site.lv_rate() - 0.9) < 1e-9
+    assert 1 in profile.predictable_pcs(threshold=0.85)
+
+
+def test_changing_site_not_predictable():
+    profile = profile_of(
+        """
+        li r2, #10
+    loop:
+        add r1, r2, #0
+        sub r2, r2, #1
+        bne r2, loop
+        halt
+        """
+    )
+    site = profile.sites[1]  # copies the (changing) counter
+    assert site.lv_hits == 0
+    assert site.distinct_cap == site.count - 1
+    assert 1 not in profile.predictable_pcs(threshold=0.5)
+
+
+def test_loads_only_selection():
+    memory = Memory()
+    memory.store(0x100, 9)
+    profile = profile_of(
+        """
+        li r2, #12
+    loop:
+        ld r3, 0x100(r31)
+        add r1, r31, #5
+        sub r2, r2, #1
+        bne r2, loop
+        halt
+        """,
+        memory,
+    )
+    loads = profile.predictable_pcs(threshold=0.8, loads_only=True)
+    everything = profile.predictable_pcs(threshold=0.8, loads_only=False)
+    assert 1 in loads and 2 not in loads
+    assert {1, 2} <= everything
+
+
+def test_stores_and_branches_not_sites():
+    profile = profile_of("li r1, #1\nst r1, 0x10(r31)\nbeq r31, end\nend: halt")
+    ops = {site.op_name for site in profile.sites.values()}
+    assert "st" not in ops and "beq" not in ops

@@ -1,0 +1,53 @@
+"""Architectural state tests."""
+
+from repro.isa import F, MASK64, R
+from repro.sim import ArchState
+
+
+def test_read_write():
+    s = ArchState()
+    s.write(R[3], 42)
+    assert s.read(R[3]) == 42
+    assert s.read(F[3]) == 0  # separate files
+
+
+def test_zero_register_immutable():
+    s = ArchState()
+    s.write(R[31], 99)
+    s.write(F[31], 99)
+    assert s.read(R[31]) == 0 and s.read(F[31]) == 0
+
+
+def test_values_masked_to_64_bits():
+    s = ArchState()
+    s.write(R[1], (1 << 64) + 3)
+    assert s.read(R[1]) == 3
+    s.write(R[1], MASK64)
+    assert s.read(R[1]) == MASK64
+
+
+def test_copy_independent():
+    s = ArchState()
+    s.write(R[1], 1)
+    c = s.copy()
+    c.write(R[1], 2)
+    assert s.read(R[1]) == 1 and c.read(R[1]) == 2
+    assert c.pc == s.pc
+
+
+def test_state_equal_ignores_pc_and_zero_regs():
+    a, b = ArchState(), ArchState()
+    a.pc = 10
+    assert a.state_equal(b)
+    a.write(F[2], 5)
+    assert not a.state_equal(b)
+    b.write(F[2], 5)
+    assert a.state_equal(b)
+
+
+def test_snapshot_lists_nonzero_only():
+    s = ArchState()
+    s.write(R[4], 7)
+    s.write(F[2], 9)
+    snap = s.snapshot()
+    assert snap == {R[4]: 7, F[2]: 9}

@@ -1,0 +1,75 @@
+"""Sparse memory model tests."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.isa import MASK64
+from repro.sim import Memory, WORD_BYTES
+
+aligned = st.integers(min_value=0, max_value=1 << 30).map(lambda i: i * WORD_BYTES)
+words = st.integers(min_value=0, max_value=MASK64)
+
+
+def test_unwritten_reads_zero():
+    assert Memory().load(0x1000) == 0
+
+
+def test_store_load_roundtrip():
+    m = Memory()
+    m.store(0x1000, 42)
+    assert m.load(0x1000) == 42
+
+
+def test_unaligned_access_rejected():
+    m = Memory()
+    with pytest.raises(ValueError, match="unaligned"):
+        m.load(0x1001)
+    with pytest.raises(ValueError, match="unaligned"):
+        m.store(0x1004, 1)
+
+
+def test_values_wrap_to_64_bits():
+    m = Memory()
+    m.store(0x8, (1 << 64) + 5)
+    assert m.load(0x8) == 5
+
+
+def test_bulk_write_read():
+    m = Memory()
+    m.write_words(0x100, range(10))
+    assert m.read_words(0x100, 10) == tuple(range(10))
+    assert m.load(0x100 + 9 * 8) == 9
+
+
+def test_copy_is_independent():
+    m = Memory()
+    m.store(0x8, 1)
+    c = m.copy()
+    c.store(0x8, 2)
+    assert m.load(0x8) == 1 and c.load(0x8) == 2
+
+
+def test_equality_ignores_explicit_zeros():
+    a, b = Memory(), Memory()
+    a.store(0x8, 0)
+    assert a == b
+    a.store(0x10, 7)
+    assert a != b
+    b.store(0x10, 7)
+    assert a == b
+
+
+def test_nonzero_words_iteration():
+    m = Memory()
+    m.write_words(0x40, [1, 0, 3])
+    entries = dict(m.nonzero_words())
+    assert entries[0x40] == 1 and entries[0x50] == 3
+
+
+@given(st.dictionaries(aligned, words, max_size=20))
+def test_memory_behaves_like_dict(model):
+    m = Memory()
+    for addr, value in model.items():
+        m.store(addr, value)
+    for addr, value in model.items():
+        assert m.load(addr) == value

@@ -1,0 +1,77 @@
+"""Cache hierarchy tests: LRU, fill latency, miss accounting."""
+
+from repro.uarch import Cache, CacheConfig, MemoryHierarchy, table1_config
+
+
+def small_cache(assoc=2, lines=4, penalty=10, parent=None):
+    return Cache(CacheConfig(size_bytes=64 * lines * assoc, assoc=assoc, line_bytes=64, miss_penalty=penalty), parent)
+
+
+def test_miss_then_hit():
+    c = small_cache()
+    assert c.access(0x1000, cycle=0) == 10
+    assert c.access(0x1000, cycle=100) == 0
+    assert c.misses == 1 and c.hits == 1
+
+
+def test_same_line_words_share():
+    c = small_cache()
+    c.access(0x1000, cycle=0)
+    assert c.access(0x1038, cycle=100) == 0  # same 64B line
+
+
+def test_fill_latency_blocks_early_rehits():
+    c = small_cache(penalty=10)
+    assert c.access(0x1000, cycle=0) == 10  # fill arrives at cycle 10
+    assert c.access(0x1008, cycle=4) == 6  # waits for the in-flight fill
+    assert c.access(0x1010, cycle=10) == 0  # fill complete
+
+
+def test_lru_eviction():
+    c = small_cache(assoc=2, lines=1)  # one set, two ways
+    c.access(0x0000, cycle=0)
+    c.access(0x0040, cycle=0)  # second way (next line, same set since 1 set)
+    c.access(0x0000, cycle=50)  # touch first -> second is LRU
+    c.access(0x0080, cycle=50)  # evicts 0x0040
+    assert c.access(0x0000, cycle=100) == 0
+    assert c.access(0x0040, cycle=100) == 10  # was evicted
+
+
+def test_l2_backs_l1():
+    l2 = small_cache(assoc=2, lines=64, penalty=80)
+    l1 = small_cache(assoc=2, lines=2, penalty=20, parent=l2)
+    assert l1.access(0x1000, cycle=0) == 100  # L1 miss + L2 miss
+    # Evict from the tiny L1 (same L1 set, different L2 sets) -> still in L2.
+    l1.access(0x1080, cycle=200)
+    l1.access(0x1100, cycle=200)
+    l1.access(0x1180, cycle=200)
+    l1.access(0x1200, cycle=200)
+    assert l1.access(0x1000, cycle=1000) == 20  # L1 miss, L2 hit
+
+
+def test_hierarchy_matches_table1():
+    h = MemoryHierarchy(table1_config().l1i, table1_config().l1d, table1_config().l2)
+    assert h.l1i.num_sets == 128 and h.l1d.num_sets == 128
+    assert h.l2.num_sets == 4096
+    assert h.data_latency(0x9000, cycle=0) == 100  # 20 + 80
+    assert h.data_latency(0x9000, cycle=500) == 0
+    # Instruction fetches are word-addressed pcs.
+    assert h.fetch_latency(0, cycle=0) == 100
+    assert h.fetch_latency(7, cycle=500) == 0  # same 64-byte line as pc 0
+
+
+def test_miss_rate():
+    c = small_cache()
+    c.access(0x1000, 0)
+    c.access(0x1000, 100)
+    c.access(0x2000, 100)
+    assert abs(c.miss_rate() - 2 / 3) < 1e-9
+
+
+def test_bad_configs_rejected():
+    import pytest
+
+    with pytest.raises(ValueError):
+        Cache(CacheConfig(1024, 4, 60, 10))  # line not power of two
+    with pytest.raises(ValueError):
+        Cache(CacheConfig(64, 4, 64, 10))  # too small for associativity

@@ -1,0 +1,52 @@
+"""Machine configuration tests."""
+
+import pytest
+
+from repro.uarch import MachineConfig, RecoveryScheme, aggressive_config, table1_config
+
+
+def test_table1_defaults_frozen():
+    cfg = table1_config()
+    with pytest.raises(Exception):
+        cfg.fetch_width = 4  # frozen dataclass
+
+
+def test_validate_rejects_inconsistent_fus():
+    from dataclasses import replace
+
+    bad = replace(table1_config(), fu_ldst=9)
+    with pytest.raises(ValueError, match="subset"):
+        bad.validate()
+
+
+def test_validate_rejects_zero_widths():
+    from dataclasses import replace
+
+    with pytest.raises(ValueError):
+        replace(table1_config(), fetch_width=0).validate()
+
+
+def test_aggressive_doubles_the_right_things():
+    narrow, wide = table1_config(), aggressive_config()
+    assert wide.fetch_width == 2 * narrow.fetch_width
+    assert wide.iq_int == 2 * narrow.iq_int and wide.iq_fp == 2 * narrow.iq_fp
+    assert wide.fu_int == 2 * narrow.fu_int and wide.fu_fp == 2 * narrow.fu_fp
+    assert wide.fu_ldst == 2 * narrow.fu_ldst
+    assert wide.rename_regs == 2 * narrow.rename_regs
+    assert wide.fetch_blocks == 3
+    # Caches are unchanged (the paper only scales the core).
+    assert wide.l1d == narrow.l1d and wide.l2 == narrow.l2
+
+
+def test_recovery_scheme_parse():
+    assert RecoveryScheme.parse("refetch") is RecoveryScheme.REFETCH
+    assert RecoveryScheme.parse("selective") is RecoveryScheme.SELECTIVE
+    with pytest.raises(ValueError, match="unknown recovery scheme"):
+        RecoveryScheme.parse("rollback")
+
+
+def test_front_depth_produces_paper_mispredict_penalty():
+    cfg = table1_config()
+    # fetched at F, earliest issue F+front_depth, resolve >= +1, redirect +1:
+    # a minimum misprediction shadow of ~7 cycles, per Table 1.
+    assert cfg.front_depth + 1 in (6, 7, 8)

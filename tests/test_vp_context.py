@@ -1,0 +1,81 @@
+"""Context (FCM) predictor tests."""
+
+import pytest
+
+from repro.isa import Instruction, R, opcode
+from repro.vp import ContextPredictor
+
+
+def load(pc):
+    return Instruction(op=opcode("ld"), dst=R[1], src1=R[2], imm=0, pc=pc)
+
+
+def test_learns_repeating_sequence_beyond_last_value():
+    cp = ContextPredictor(entries=64, order=2)
+    sequence = [1, 2, 3] * 30
+    predicted = correct = 0
+    for value in sequence:
+        if cp.confident(5):
+            predicted += 1
+            correct += cp.stored_value(5) == value
+        cp.update(5, True, value)
+    assert predicted > 40
+    assert correct == predicted  # the period-3 sequence is exact under order 2
+
+
+def test_needs_full_context_before_predicting():
+    cp = ContextPredictor(entries=64, order=3)
+    cp.update(5, True, 1)
+    cp.update(5, True, 2)
+    assert cp.stored_value(5) is None  # history shorter than the order
+
+
+def test_constant_sequence_is_easy():
+    cp = ContextPredictor(entries=64, order=2)
+    for _ in range(12):
+        cp.update(5, True, 42)
+    assert cp.confident(5) and cp.stored_value(5) == 42
+
+
+def test_context_change_resets_confidence():
+    cp = ContextPredictor(entries=64, order=1)
+    for _ in range(10):
+        cp.update(5, True, 7)
+    assert cp.confident(5)
+    cp.update(5, False, 8)  # context (7) now maps to 8, cold
+    cp.update(5, False, 7)
+    assert not cp.confident(5)
+
+
+def test_source_filters():
+    assert ContextPredictor(loads_only=True).source(load(1)) is not None
+    add = Instruction(op=opcode("add"), dst=R[1], src1=R[2], imm=1, pc=2)
+    assert ContextPredictor(loads_only=True).source(add) is None
+    assert ContextPredictor(loads_only=False).source(add) is not None
+
+
+def test_bad_configs_rejected():
+    with pytest.raises(ValueError):
+        ContextPredictor(entries=100)
+    with pytest.raises(ValueError):
+        ContextPredictor(vpt_entries=3)
+    with pytest.raises(ValueError):
+        ContextPredictor(order=0)
+
+
+def test_reset():
+    cp = ContextPredictor(entries=64, order=1)
+    for _ in range(10):
+        cp.update(5, True, 7)
+    cp.reset()
+    assert not cp.confident(5) and cp.stored_value(5) is None
+
+
+def test_runs_through_experiment_runner():
+    from repro.core import ExperimentRunner
+
+    runner = ExperimentRunner("m88ksim", max_instructions=10_000)
+    result = runner.run("context_all")
+    assert result.stats.committed == 10_000
+    if result.stats.predictions:
+        assert result.stats.accuracy > 0.5

@@ -1,0 +1,248 @@
+"""Value-predictor unit tests: confidence counters, LVP, RVP, Gabbay, static."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.isa import F, Instruction, R, opcode
+from repro.profiling import DeadHint, ProfileLists
+from repro.vp import (
+    COUNTER_MAX,
+    DEFAULT_THRESHOLD,
+    DynamicRVP,
+    GabbayRegisterPredictor,
+    LastValuePredictor,
+    NoPredictor,
+    ResettingCounterTable,
+    SourceKind,
+    StaticRVP,
+)
+
+
+def load(pc, dst=R[1]):
+    return Instruction(op=opcode("ld"), dst=dst, src1=R[2], imm=0, pc=pc)
+
+
+def add(pc, dst=R[1]):
+    return Instruction(op=opcode("add"), dst=dst, src1=R[2], imm=1, pc=pc)
+
+
+def store(pc):
+    return Instruction(op=opcode("st"), src1=R[2], src2=R[3], imm=0, pc=pc)
+
+
+# ----------------------------------------------------------------------
+# Resetting counters
+# ----------------------------------------------------------------------
+def test_counter_needs_seven_consecutive_hits():
+    table = ResettingCounterTable(64)
+    for i in range(DEFAULT_THRESHOLD):
+        assert not table.confident(5)
+        table.update(5, True)
+    assert table.confident(5)
+
+
+def test_counter_resets_on_miss():
+    table = ResettingCounterTable(64)
+    for _ in range(10):
+        table.update(5, True)
+    table.update(5, False)
+    assert not table.confident(5) and table.value(5) == 0
+
+
+def test_counter_saturates():
+    table = ResettingCounterTable(64)
+    for _ in range(100):
+        table.update(5, True)
+    assert table.value(5) == COUNTER_MAX
+
+
+def test_counter_untagged_indexing_aliases():
+    table = ResettingCounterTable(64)
+    for _ in range(8):
+        table.update(3, True)
+    assert table.confident(3 + 64)  # aliases to the same counter
+
+
+def test_counter_rejects_bad_config():
+    with pytest.raises(ValueError):
+        ResettingCounterTable(100)  # not a power of two
+    with pytest.raises(ValueError):
+        ResettingCounterTable(64, threshold=9)
+
+
+@given(st.lists(st.booleans(), max_size=60))
+def test_counter_value_is_clipped_streak(outcomes):
+    table = ResettingCounterTable(64)
+    streak = 0
+    for outcome in outcomes:
+        table.update(7, outcome)
+        streak = min(streak + 1, COUNTER_MAX) if outcome else 0
+        assert table.value(7) == streak
+
+
+# ----------------------------------------------------------------------
+# LVP
+# ----------------------------------------------------------------------
+def test_lvp_learns_and_predicts():
+    lvp = LastValuePredictor(entries=64, loads_only=True)
+    inst = load(pc=10)
+    assert lvp.source(inst) is not None
+    for _ in range(8):
+        lvp.update(10, True, 42)
+    assert lvp.confident(10)
+    assert lvp.stored_value(10) == 42
+
+
+def test_lvp_value_change_resets_confidence():
+    lvp = LastValuePredictor(entries=64)
+    for _ in range(8):
+        lvp.update(10, True, 42)
+    lvp.update(10, False, 99)
+    assert not lvp.confident(10)
+    assert lvp.stored_value(10) == 99  # value still updated
+
+
+def test_lvp_tag_conflict_steals_entry():
+    lvp = LastValuePredictor(entries=64)
+    for _ in range(8):
+        lvp.update(10, True, 42)
+    lvp.update(10 + 64, True, 7)  # same index, different pc
+    assert lvp.stored_value(10) is None  # tag mismatch -> no prediction
+    assert not lvp.confident(10)
+    assert lvp.stored_value(10 + 64) == 7
+
+
+def test_lvp_untagged_mode_shares_entries():
+    lvp = LastValuePredictor(entries=64, tagged=False)
+    for _ in range(8):
+        lvp.update(10, True, 42)
+    assert lvp.stored_value(10 + 64) == 42
+
+
+def test_lvp_loads_only_filter():
+    loads_only = LastValuePredictor(loads_only=True)
+    everything = LastValuePredictor(loads_only=False)
+    assert loads_only.source(add(1)) is None
+    assert everything.source(add(1)) is not None
+    assert loads_only.source(store(2)) is None and everything.source(store(2)) is None
+
+
+def test_lvp_is_table_backed():
+    assert LastValuePredictor().table_backed
+    assert getattr(DynamicRVP(), "table_backed", False) is False
+
+
+# ----------------------------------------------------------------------
+# Dynamic RVP
+# ----------------------------------------------------------------------
+def test_rvp_default_source_is_destination():
+    rvp = DynamicRVP()
+    source = rvp.source(load(5))
+    assert source.kind is SourceKind.DST and source.reg is None
+
+
+def test_rvp_dead_hint_redirects_source():
+    lists = ProfileLists(threshold=0.8)
+    lists.dead[5] = DeadHint(reg=R[7], producer_pc=2)
+    rvp = DynamicRVP(lists=lists, use_dead=True)
+    source = rvp.source(load(5))
+    assert source.kind is SourceKind.REG and source.reg == R[7]
+    # Without the flag the hint is ignored.
+    plain = DynamicRVP(lists=lists, use_dead=False)
+    assert plain.source(load(5)).kind is SourceKind.DST
+
+
+def test_rvp_kind_mismatched_hint_falls_back():
+    lists = ProfileLists(threshold=0.8)
+    lists.dead[5] = DeadHint(reg=F[7], producer_pc=2)  # fp hint for int load
+    rvp = DynamicRVP(lists=lists, use_dead=True)
+    assert rvp.source(load(5)).kind is SourceKind.DST
+
+
+def test_rvp_lv_hint_uses_stored_previous_result():
+    lists = ProfileLists(threshold=0.8)
+    lists.last_value.add(5)
+    rvp = DynamicRVP(lists=lists, use_lv=True)
+    assert rvp.source(load(5)).kind is SourceKind.STORED
+    assert rvp.stored_value(5) is None
+    rvp.update(5, True, 33)
+    assert rvp.stored_value(5) == 33
+
+
+def test_rvp_same_list_beats_hints():
+    lists = ProfileLists(threshold=0.8)
+    lists.same.add(5)
+    lists.dead[5] = DeadHint(reg=R[7], producer_pc=2)
+    rvp = DynamicRVP(lists=lists, use_dead=True)
+    assert rvp.source(load(5)).kind is SourceKind.DST
+
+
+def test_rvp_loads_only():
+    rvp = DynamicRVP(loads_only=True)
+    assert rvp.source(add(1)) is None
+    assert rvp.source(load(1)) is not None
+
+
+def test_rvp_confidence_threshold():
+    rvp = DynamicRVP()
+    for _ in range(6):
+        rvp.update(9, True, 1)
+    assert not rvp.confident(9)
+    rvp.update(9, True, 1)
+    assert rvp.confident(9)
+
+
+def test_rvp_names():
+    assert DynamicRVP().name == "drvp_all"
+    assert DynamicRVP(loads_only=True).name == "drvp"
+    assert DynamicRVP(use_dead=True, use_lv=True).name == "drvp_all_dead_lv"
+
+
+# ----------------------------------------------------------------------
+# Gabbay register predictor
+# ----------------------------------------------------------------------
+def test_gabbay_counters_shared_per_register():
+    grp = GabbayRegisterPredictor()
+    a = load(5, dst=R[3])
+    b = add(9, dst=R[3])
+    grp.source(a)
+    grp.source(b)
+    for _ in range(7):
+        grp.update(5, True, 1)  # trains r3's counter via pc 5
+    assert grp.confident(9)  # pc 9 shares r3's counter
+    grp.update(9, False, 2)  # interference: pc 9 resets it
+    assert not grp.confident(5)
+
+
+def test_gabbay_distinct_registers_independent():
+    grp = GabbayRegisterPredictor()
+    grp.source(load(1, dst=R[3]))
+    grp.source(load(2, dst=R[4]))
+    for _ in range(7):
+        grp.update(1, True, 1)
+    assert grp.confident(1) and not grp.confident(2)
+
+
+# ----------------------------------------------------------------------
+# Static RVP
+# ----------------------------------------------------------------------
+def test_static_rvp_only_marked_loads():
+    srvp = StaticRVP()
+    marked = load(3).as_rvp_marked()
+    assert srvp.source(marked) is not None
+    assert srvp.source(load(3)) is None
+    assert srvp.confident(3)  # unconditional
+
+
+def test_static_rvp_hint_sources():
+    lists = ProfileLists(threshold=0.8)
+    lists.dead[3] = DeadHint(reg=R[9], producer_pc=1)
+    lists.last_value.add(4)
+    srvp = StaticRVP(lists=lists, use_dead=True, use_lv=True)
+    assert srvp.source(load(3).as_rvp_marked()).kind is SourceKind.REG
+    assert srvp.source(load(4).as_rvp_marked()).kind is SourceKind.STORED
+
+
+def test_no_predictor_never_predicts():
+    none = NoPredictor()
+    assert none.source(load(1)) is None and not none.confident(1)

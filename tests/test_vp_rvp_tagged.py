@@ -1,0 +1,51 @@
+"""Tagged-counter ablation plumbing tests (paper Section 7.2)."""
+
+from repro.isa import Instruction, R, opcode
+from repro.vp import DynamicRVP
+
+
+def load(pc):
+    return Instruction(op=opcode("ld"), dst=R[1], src1=R[2], imm=0, pc=pc)
+
+
+def test_tagged_counter_requires_matching_pc():
+    rvp = DynamicRVP(entries=64, tagged=True)
+    for _ in range(8):
+        rvp.update(5, True, 1)
+    assert rvp.confident(5)
+    # The aliasing pc (5 + 64) shares the counter but fails the tag.
+    assert not rvp.confident(5 + 64)
+
+
+def test_tagged_entry_stolen_on_alias_update():
+    rvp = DynamicRVP(entries=64, tagged=True)
+    for _ in range(8):
+        rvp.update(5, True, 1)
+    rvp.update(5 + 64, True, 2)  # steal
+    assert not rvp.confident(5)
+    assert not rvp.confident(5 + 64)  # new owner starts cold
+    for _ in range(7):
+        rvp.update(5 + 64, True, 2)
+    assert rvp.confident(5 + 64)
+
+
+def test_untagged_positive_interference():
+    """The paper's point: two reusing instructions sharing an untagged
+    counter help each other; with tags they evict each other."""
+    untagged = DynamicRVP(entries=64, tagged=False)
+    tagged = DynamicRVP(entries=64, tagged=True)
+    for predictor in (untagged, tagged):
+        for _ in range(8):  # interleaved updates from two aliasing pcs
+            predictor.update(5, True, 1)
+            predictor.update(5 + 64, True, 2)
+    assert untagged.confident(5) and untagged.confident(5 + 64)
+    assert not tagged.confident(5) and not tagged.confident(5 + 64)
+
+
+def test_reset_clears_tags():
+    rvp = DynamicRVP(entries=64, tagged=True)
+    for _ in range(8):
+        rvp.update(5, True, 1)
+    rvp.reset()
+    assert not rvp.confident(5)
+    assert rvp.stored_value(5) is None

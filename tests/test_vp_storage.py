@@ -1,0 +1,70 @@
+"""Storage-cost model tests: the paper's hardware argument in numbers."""
+
+import pytest
+
+from repro.vp import (
+    ContextPredictor,
+    DynamicRVP,
+    GabbayRegisterPredictor,
+    LastValuePredictor,
+    MemoryRenamingPredictor,
+    NoPredictor,
+    StaticRVP,
+    StridePredictor,
+)
+from repro.vp.storage import estimate_storage
+
+
+def test_rvp_is_counters_only():
+    est = estimate_storage(DynamicRVP(entries=1024))
+    assert est.value_bits == 0 and est.tag_bits == 0
+    assert est.total_bits == 3 * 1024  # 384 bytes
+
+
+def test_static_rvp_costs_nothing():
+    assert estimate_storage(StaticRVP()).total_bits == 0
+    assert estimate_storage(NoPredictor()).total_bits == 0
+
+
+def test_gabbay_is_tiny():
+    assert estimate_storage(GabbayRegisterPredictor()).total_bits == 3 * 64
+
+
+def test_lvp_matches_paper_arithmetic():
+    """The paper: a 2K-entry 64-bit value buffer is 16KB of values plus
+    9-13KB of tags."""
+    est = estimate_storage(LastValuePredictor(entries=2048))
+    assert est.value_bits == 64 * 2048  # 16 KiB
+    assert 9 * 1024 * 8 <= est.tag_bits + est.counter_bits <= 13 * 1024 * 8
+
+
+def test_storage_ordering_matches_the_papers_cost_story():
+    rvp = estimate_storage(DynamicRVP()).total_bits
+    lvp = estimate_storage(LastValuePredictor()).total_bits
+    stride = estimate_storage(StridePredictor()).total_bits
+    context = estimate_storage(ContextPredictor()).total_bits
+    memren = estimate_storage(MemoryRenamingPredictor()).total_bits
+    # RVP is >20x cheaper than the cheapest buffer-based scheme...
+    assert lvp > 20 * rvp
+    # ...and the schemes the paper excluded are costlier still.
+    assert stride > lvp and context > lvp and memren > lvp
+
+
+def test_tagged_rvp_charges_tags():
+    untagged = estimate_storage(DynamicRVP(entries=1024, tagged=False))
+    tagged = estimate_storage(DynamicRVP(entries=1024, tagged=True))
+    assert tagged.total_bits > untagged.total_bits
+    assert tagged.tag_bits == (48 - 10) * 1024
+
+
+def test_describe_is_readable():
+    text = estimate_storage(LastValuePredictor()).describe()
+    assert "KiB" in text and "values" in text
+
+
+def test_unknown_predictor_rejected():
+    class Mystery:
+        pass
+
+    with pytest.raises(ValueError, match="no storage model"):
+        estimate_storage(Mystery())

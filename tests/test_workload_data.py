@@ -1,0 +1,100 @@
+"""Value-stream generator tests (repro.workloads.data)."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.workloads import data
+
+
+def rng(seed=0):
+    return np.random.default_rng(seed)
+
+
+def test_run_lengths_draws_from_pool():
+    pool = [3, 7, 11]
+    values = data.run_lengths(rng(), 500, pool, mean_run=4.0)
+    assert len(values) == 500
+    assert set(values) <= set(pool)
+    # Mean run should be in the right ballpark.
+    changes = sum(1 for a, b in zip(values, values[1:]) if a != b)
+    mean_run = len(values) / max(1, changes + 1)
+    assert 2.0 < mean_run < 9.0
+
+
+def test_run_lengths_rejects_bad_mean():
+    with pytest.raises(ValueError):
+        data.run_lengths(rng(), 10, [1], mean_run=0.5)
+
+
+def test_sparse_values_density():
+    values = data.sparse_values(rng(), 5000, density=0.1)
+    nonzero = sum(1 for v in values if v != 0)
+    assert 0.06 < nonzero / 5000 < 0.15
+    assert all(v >= 0 for v in values)
+
+
+def test_sparse_values_custom_fill():
+    values = data.sparse_values(rng(), 100, density=0.0, fill=7)
+    assert values == [7] * 100
+
+
+def test_sparse_values_rejects_bad_density():
+    with pytest.raises(ValueError):
+        data.sparse_values(rng(), 10, density=1.5)
+
+
+def test_zipf_pool_skewed():
+    indices = data.zipf_pool(rng(), 5000, pool_size=16, exponent=1.3)
+    assert all(0 <= i < 16 for i in indices)
+    counts = np.bincount(indices, minlength=16)
+    assert counts[0] > counts[8] > 0  # head much hotter than tail
+
+
+def test_correlated_copy_matches_source():
+    source = list(range(100, 600))
+    copy = data.correlated_copy(rng(), source, correlation=0.8)
+    matches = sum(1 for a, b in zip(source, copy) if a == b)
+    assert 0.7 < matches / len(source) <= 1.0
+    with pytest.raises(ValueError):
+        data.correlated_copy(rng(), source, correlation=-0.1)
+
+
+def test_smooth_field_neighbours_usually_equal():
+    field = data.smooth_field(rng(), 2000, levels=10, step_prob=0.1)
+    equal = sum(1 for a, b in zip(field, field[1:]) if a == b)
+    assert equal / len(field) > 0.75
+
+
+def test_cons_heap_structure():
+    base = 0x10000
+    words, root = data.cons_heap(rng(), base, n_cells=400, n_atoms=400)
+    assert len(words) == 800  # two words per cell
+    assert root != 0 and (root - base) % 16 == 0
+    # Walk the master list: cars are either aligned pointers or odd atoms.
+    def word(addr):
+        return words[(addr - base) // 8]
+
+    seen = 0
+    node = root
+    while node and seen < 10_000:
+        car, cdr = word(node), word(node + 8)
+        assert car == 0 or car % 2 == 1 or (car - base) % 16 == 0
+        node = cdr
+        seen += 1
+    assert seen > 3  # master chain has multiple roots
+
+
+def test_cons_heap_atoms_run():
+    words, _ = data.cons_heap(rng(), 0x1000, 600, 600, repeat_prob=0.95, nest_prob=0.0)
+    cars = [words[2 * i] for i in range(600) if words[2 * i] % 2 == 1]
+    equal = sum(1 for a, b in zip(cars, cars[1:]) if a == b)
+    assert equal / max(1, len(cars)) > 0.6
+
+
+@settings(max_examples=10, deadline=None)
+@given(st.integers(min_value=0, max_value=1000))
+def test_generators_deterministic_per_seed(seed):
+    a = data.smooth_field(np.random.default_rng(seed), 100)
+    b = data.smooth_field(np.random.default_rng(seed), 100)
+    assert a == b
