@@ -29,7 +29,15 @@ ALL_BENCHMARKS = tuple(WORKLOAD_CLASSES)
 
 
 class RunnerCache:
-    """Session-wide cache of ExperimentRunners (profiles are expensive)."""
+    """Session-wide cache of ExperimentRunners.
+
+    Runners are thin now — traces, profiles and program variants live in the
+    process-wide :class:`repro.core.SimSession`, so two runners for the same
+    workload share every functional-sim artifact even across machine
+    configurations.  Caching the runner objects still saves rebuilding them
+    per benchmark module and keeps per-(machine, threshold) identity for
+    fixtures that rely on it.
+    """
 
     def __init__(self) -> None:
         self._runners: Dict[Tuple[str, str, float], ExperimentRunner] = {}

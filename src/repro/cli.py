@@ -8,9 +8,16 @@ Commands
                  python -m repro run --workload m88ksim \\
                      --config no_predict lvp_all drvp_all_dead
 
-``suite``    Run configurations across all nine workloads (a figure row)::
+``suite``    Run configurations across all nine workloads (a figure row),
+             optionally fanned out over worker processes::
 
-                 python -m repro suite --config no_predict lvp_all drvp_all_dead_lv
+                 python -m repro suite --config no_predict lvp_all drvp_all_dead_lv --jobs 4
+
+``metrics``  Run configurations, then emit results + execution metrics
+             (session-cache hit rates, sim wall time, pool utilization) as
+             structured JSON::
+
+                 python -m repro metrics --workload m88ksim --config no_predict drvp_all
 
 ``profile``  Show a workload's register-reuse profile and the four lists::
 
@@ -30,7 +37,8 @@ import argparse
 from typing import List, Optional
 
 from .core.experiment import CONFIG_NAMES, ExperimentRunner
-from .core.results import ResultTable
+from .core.results import ResultTable, render_metrics
+from .core.session import ParallelSuiteRunner
 from .uarch.config import aggressive_config, table1_config
 from .uarch.recovery import RecoveryScheme
 from .workloads.suite import WORKLOAD_CLASSES
@@ -46,6 +54,16 @@ def _add_common(parser: argparse.ArgumentParser) -> None:
         default="selective",
         help="value-misprediction recovery scheme",
     )
+    parser.add_argument(
+        "--profile",
+        action="store_true",
+        help="print execution metrics (cache hit rates, sim wall time) as JSON afterwards",
+    )
+
+
+def _maybe_profile(args: argparse.Namespace) -> None:
+    if getattr(args, "profile", False):
+        print(render_metrics())
 
 
 def _runner(args: argparse.Namespace, workload: str) -> ExperimentRunner:
@@ -63,20 +81,52 @@ def _cmd_run(args: argparse.Namespace) -> int:
     if "no_predict" in args.config:
         print(table.render_speedup("speedups"))
     print(table.render_coverage("coverage/accuracy"))
+    _maybe_profile(args)
     return 0
 
 
 def _cmd_suite(args: argparse.Namespace) -> int:
     table = ResultTable()
     scheme = RecoveryScheme.parse(args.recovery)
-    for name in WORKLOAD_CLASSES:
-        runner = _runner(args, name)
-        for config in args.config:
-            table.add(runner.run(config, recovery=scheme))
-        print(f"  {name} done")
+    machine = aggressive_config() if args.wide else table1_config()
+    if args.jobs > 1:
+        runner = ParallelSuiteRunner(
+            workloads=tuple(WORKLOAD_CLASSES),
+            configs=tuple(args.config),
+            recoveries=(scheme,),
+            machine=machine,
+            max_instructions=args.max_insts,
+            threshold=args.threshold,
+            jobs=args.jobs,
+        )
+        report = runner.run()
+        for result in report.results:
+            table.add(result)
+        mode = "processes" if report.used_processes else "serial fallback"
+        print(f"  {len(report.results)}/{len(runner.cells)} cells done ({args.jobs} jobs, {mode})")
+        for cell, error in report.failures.items():
+            print(f"  FAILED {cell.workload}/{cell.config}/{cell.recovery}: {error}")
+    else:
+        for name in WORKLOAD_CLASSES:
+            runner = _runner(args, name)
+            for config in args.config:
+                table.add(runner.run(config, recovery=scheme))
+            print(f"  {name} done")
     print()
     print(table.render_speedup(f"suite speedups ({scheme.value} recovery)"))
     print(table.render_coverage("coverage/accuracy"))
+    _maybe_profile(args)
+    return 0
+
+
+def _cmd_metrics(args: argparse.Namespace) -> int:
+    """Run configurations, then emit results + metrics as structured JSON."""
+    runner = _runner(args, args.workload)
+    table = ResultTable()
+    scheme = RecoveryScheme.parse(args.recovery)
+    for config in args.config:
+        table.add(runner.run(config, recovery=scheme))
+    print(table.render_json(include_metrics=True))
     return 0
 
 
@@ -153,8 +203,17 @@ def build_parser() -> argparse.ArgumentParser:
 
     suite_parser = sub.add_parser("suite", help="run configurations across all workloads")
     suite_parser.add_argument("--config", nargs="+", default=["no_predict", "lvp_all", "drvp_all_dead_lv"])
+    suite_parser.add_argument(
+        "--jobs", type=int, default=1, help="worker processes for (workload x config) fan-out (1 = serial)"
+    )
     _add_common(suite_parser)
     suite_parser.set_defaults(fn=_cmd_suite)
+
+    metrics_parser = sub.add_parser("metrics", help="run configurations and emit results + metrics JSON")
+    metrics_parser.add_argument("--workload", default="m88ksim", choices=sorted(WORKLOAD_CLASSES))
+    metrics_parser.add_argument("--config", nargs="+", default=["no_predict", "drvp_all_dead_lv"])
+    _add_common(metrics_parser)
+    metrics_parser.set_defaults(fn=_cmd_metrics)
 
     profile_parser = sub.add_parser("profile", help="show a workload's reuse profile")
     profile_parser.add_argument("--workload", required=True, choices=sorted(WORKLOAD_CLASSES))

@@ -1,15 +1,38 @@
-"""High-level experiment API: named configurations and result tables."""
+"""High-level experiment API: named configurations, the shared simulation
+session, parallel suite execution, metrics, and result tables."""
 
 from .experiment import CONFIG_NAMES, ExperimentResult, ExperimentRunner
-from .results import ResultTable
+from .metrics import MetricsRegistry, get_metrics, reset_metrics
+from .results import ResultTable, metrics_report, render_metrics
+from .session import (
+    ParallelSuiteRunner,
+    SimSession,
+    SuiteCell,
+    SuiteReport,
+    canonical_variant_key,
+    get_session,
+    reset_session,
+)
 from .sweep import render_sweep, speedup_series, sweep, sweep_machine
 
 __all__ = [
     "CONFIG_NAMES",
     "ExperimentResult",
     "ExperimentRunner",
+    "MetricsRegistry",
+    "ParallelSuiteRunner",
     "ResultTable",
+    "SimSession",
+    "SuiteCell",
+    "SuiteReport",
+    "canonical_variant_key",
+    "get_metrics",
+    "get_session",
+    "metrics_report",
+    "render_metrics",
     "render_sweep",
+    "reset_metrics",
+    "reset_session",
     "speedup_series",
     "sweep",
     "sweep_machine",

@@ -30,15 +30,12 @@ paper (Section 6).
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, List, Optional, Tuple
+from typing import Optional, Sequence, Tuple
 
-from ..compiler.marking import mark_static_rvp
-from ..compiler.realloc import ReallocReport, reallocate
+from ..compiler.realloc import ReallocReport
 from ..isa.program import Program
-from ..profiling.critpath import critical_path_profile
 from ..profiling.lists import ProfileLists
 from ..profiling.reuse import ReuseProfile
-from ..sim.functional import run_program
 from ..sim.trace import TraceRecord
 from ..uarch.config import MachineConfig, table1_config
 from ..uarch.pipeline import simulate
@@ -53,7 +50,7 @@ from ..vp.rvp import DynamicRVP
 from ..vp.static_rvp import StaticRVP
 from ..vp.stride import StridePredictor
 from ..workloads.base import Workload
-from ..workloads.suite import make_workload
+from .session import SimSession, get_session
 
 CONFIG_NAMES = (
     "no_predict",
@@ -95,7 +92,16 @@ class ExperimentResult:
 
 
 class ExperimentRunner:
-    """Profiles once, then runs any number of named configurations."""
+    """Profiles once, then runs any number of named configurations.
+
+    All expensive artifacts (train profiles, program variants, ref traces)
+    are memoized in a shared :class:`~repro.core.session.SimSession`, so any
+    number of runners — across machine configurations, sweep points, and
+    benchmark modules — run the functional simulator once per (workload,
+    program variant).  Every variant/trace request goes through the session's
+    canonical key function, so an explicit ``threshold=0.8`` and an implicit
+    default hit the same cache entry.
+    """
 
     def __init__(
         self,
@@ -104,72 +110,53 @@ class ExperimentRunner:
         machine: Optional[MachineConfig] = None,
         max_instructions: int = 60_000,
         threshold: float = 0.8,
+        session: Optional[SimSession] = None,
     ) -> None:
-        self.workload: Workload = make_workload(workload, scale=scale)
+        self.session = session if session is not None else get_session()
+        self.workload: Workload = self.session.workload(workload, scale)
+        self.scale = scale
         self.machine = machine or table1_config()
         self.max_instructions = max_instructions
         self.threshold = threshold
-        self._train_profile: Optional[ReuseProfile] = None
-        self._critical = None
-        self._lists: Dict[Tuple[float, bool], ProfileLists] = {}
-        self._traces: Dict[str, List[TraceRecord]] = {}
-        self._programs: Dict[str, Program] = {}
-        self._realloc_report: Optional[ReallocReport] = None
 
     # ------------------------------------------------------------------
     # Profiling on the train input
     # ------------------------------------------------------------------
     def train_profile(self) -> ReuseProfile:
-        if self._train_profile is None:
-            program, memory = self.workload.build("train")
-            result = run_program(program, memory=memory, max_instructions=self.max_instructions, collect_trace=True)
-            self._train_profile = ReuseProfile.from_trace(result.trace)
-            self._critical = critical_path_profile(result.trace)
-        return self._train_profile
+        return self.session.train_artifacts(self.workload.name, self.scale, self.max_instructions).profile
 
     def profile_lists(self, threshold: Optional[float] = None, loads_only: bool = False) -> ProfileLists:
         threshold = threshold if threshold is not None else self.threshold
-        key = (threshold, loads_only)
-        if key not in self._lists:
-            self._lists[key] = self.train_profile().profile_lists(threshold, loads_only=loads_only)
-        return self._lists[key]
+        return self.session.profile_lists(
+            self.workload.name, self.scale, self.max_instructions, threshold, loads_only
+        )
 
     # ------------------------------------------------------------------
     # Program variants and their ref traces
     # ------------------------------------------------------------------
     def program_variant(self, variant: str, threshold: Optional[float] = None) -> Program:
         """'base', 'srvp_<level>' (marked) or 'realloc' (transformed)."""
-        key = variant if threshold is None else f"{variant}@{threshold}"
-        if key in self._programs:
-            return self._programs[key]
-        base = self.workload.program
-        if variant == "base":
-            program = base
-        elif variant.startswith("srvp_"):
-            level = variant[len("srvp_") :]
-            lists = self.profile_lists(threshold, loads_only=True)
-            program = mark_static_rvp(base, lists, level)
-        elif variant == "realloc":
-            self.train_profile()
-            lists = self.profile_lists(threshold, loads_only=False)
-            program, self._realloc_report = reallocate(base, lists, self._critical)
-        else:
-            raise ValueError(f"unknown program variant {variant!r}")
-        self._programs[key] = program
-        return program
+        return self.session.program_variant(
+            self.workload.name, self.scale, self.max_instructions, variant, threshold, self.threshold
+        )
 
-    def ref_trace(self, variant: str = "base", threshold: Optional[float] = None) -> List[TraceRecord]:
-        key = variant if threshold is None else f"{variant}@{threshold}"
-        if key not in self._traces:
-            program = self.program_variant(variant, threshold)
-            memory = self.workload.memory("ref")
-            result = run_program(program, memory=memory, max_instructions=self.max_instructions, collect_trace=True)
-            self._traces[key] = result.trace
-        return self._traces[key]
+    def ref_trace(self, variant: str = "base", threshold: Optional[float] = None) -> Sequence[TraceRecord]:
+        return self.session.ref_trace(
+            self.workload.name,
+            self.scale,
+            self.max_instructions,
+            variant,
+            threshold,
+            default_threshold=self.threshold,
+        )
 
     @property
     def realloc_report(self) -> Optional[ReallocReport]:
-        return self._realloc_report
+        """Report of the most recently keyed ``realloc`` variant (at this
+        runner's default threshold)."""
+        return self.session.realloc_report(
+            self.workload.name, self.scale, self.max_instructions, None, self.threshold
+        )
 
     # ------------------------------------------------------------------
     # Named configurations
@@ -230,6 +217,9 @@ class ExperimentRunner:
         threshold: Optional[float] = None,
     ) -> ExperimentResult:
         variant, predictor = self._build(config, threshold)
-        trace = self.ref_trace(variant, threshold if variant != "base" else None)
+        # The session canonicalizes (variant, threshold) — base variants drop
+        # the threshold, others resolve None to this runner's default — so no
+        # per-call-site key arithmetic is needed (or allowed) here.
+        trace = self.ref_trace(variant, threshold)
         stats = simulate(trace, predictor, self.machine, recovery)
         return ExperimentResult(self.workload.name, config, recovery.value, stats)

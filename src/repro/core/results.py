@@ -5,13 +5,31 @@ renders the rows/series each figure reports — IPC per program (Figures 3-4)
 or speedup over no-prediction per program plus the arithmetic-mean bar the
 paper labels "average" (Figures 5, 6, 8), and the coverage/accuracy rows of
 Table 2.
+
+This module is also the structured-export point: :meth:`ResultTable.to_dict`
+serialises every cell, and :func:`metrics_report` / :func:`render_metrics`
+expose the process-wide :mod:`~repro.core.metrics` registry (cache hit
+rates, sim wall time, instructions/sec, pool utilization) as JSON for the
+``--profile`` flag and the ``repro metrics`` command.
 """
 
 from __future__ import annotations
 
+import json
 from typing import Dict, Iterable, List, Optional, Sequence
 
 from .experiment import ExperimentResult
+from .metrics import MetricsRegistry, get_metrics
+
+
+def metrics_report(registry: Optional[MetricsRegistry] = None) -> Dict[str, object]:
+    """Structured snapshot of the (process-wide) metrics registry."""
+    return (registry if registry is not None else get_metrics()).snapshot()
+
+
+def render_metrics(registry: Optional[MetricsRegistry] = None) -> str:
+    """The metrics snapshot as pretty-printed JSON."""
+    return json.dumps(metrics_report(registry), indent=2, sort_keys=True)
 
 
 class ResultTable:
@@ -59,6 +77,42 @@ class ResultTable:
     @property
     def configs(self) -> Sequence[str]:
         return tuple(self._config_order)
+
+    # ------------------------------------------------------------------
+    # Structured export
+    # ------------------------------------------------------------------
+    def to_dict(self) -> Dict[str, object]:
+        """Every cell as plain data: IPC, speedup, coverage/accuracy, stats."""
+        cells: List[Dict[str, object]] = []
+        for workload in self._workload_order:
+            for config in self._config_order:
+                result = self._cells[workload].get(config)
+                if result is None:
+                    continue
+                cell: Dict[str, object] = {
+                    "workload": workload,
+                    "config": config,
+                    "recovery": result.recovery,
+                    "ipc": result.ipc,
+                    "coverage": result.stats.coverage,
+                    "accuracy": result.stats.accuracy,
+                    "stats": result.stats.summary(),
+                }
+                if self.baseline in self._cells[workload]:
+                    cell["speedup"] = self.speedup(workload, config)
+                cells.append(cell)
+        return {
+            "baseline": self.baseline,
+            "workloads": list(self._workload_order),
+            "configs": list(self._config_order),
+            "cells": cells,
+        }
+
+    def render_json(self, include_metrics: bool = False) -> str:
+        payload = self.to_dict()
+        if include_metrics:
+            payload["metrics"] = metrics_report()
+        return json.dumps(payload, indent=2, sort_keys=True)
 
     # ------------------------------------------------------------------
     # Rendering

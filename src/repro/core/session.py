@@ -1,0 +1,427 @@
+"""Process-wide simulation session: compute each expensive artifact once.
+
+The architectural trace of a (workload, program variant, input) triple is a
+pure function of the program text and the input seed — it does not depend on
+the machine configuration, the predictor, or the recovery scheme.  The seed
+repo nevertheless re-ran the functional simulator (and re-profiled) for every
+:class:`~repro.core.experiment.ExperimentRunner` instance, so a three-point
+machine sweep paid the functional-sim cost three times per workload.
+
+:class:`SimSession` is the fix: one process-wide memo of
+
+* **workloads** — ``(name, scale)`` → the :class:`Workload` instance,
+* **train artifacts** — ``(name, scale, max_instructions)`` → the reuse
+  profile *and* critical-path profile, built from a single streamed
+  functional pass (the trace is never materialized),
+* **profile lists** — train artifacts × ``(threshold, loads_only)``,
+* **program variants** — canonical ``(variant, threshold)`` keys (see
+  :func:`canonical_variant_key`) → transformed :class:`Program` plus, for
+  ``realloc``, its :class:`ReallocReport`,
+* **ref traces** — program variant × input → an immutable record tuple,
+  kept in a small LRU (traces dominate resident memory; capacity via
+  ``REPRO_SESSION_TRACE_CAP``, default 32).
+
+Cache-keying rules
+------------------
+
+Keys are value keys (names and numbers), never object identities, so any two
+runners that describe the same experiment share artifacts.  A ``base``
+variant never includes the profile threshold in its key — the base program
+and its traces are threshold-independent — while ``srvp_*`` and ``realloc``
+variants always include the *effective* threshold (an explicit ``None``
+resolves to the caller's default).  This single canonicalization point fixes
+the seed's asymmetry where ``ExperimentRunner.run`` keyed a trace as
+``"srvp_dead"`` but the same program variant as ``"srvp_dead@0.8"``.
+Entries are invalidated only by LRU pressure on the trace cache or an
+explicit :meth:`SimSession.reset` — workload programs and inputs are
+deterministic in ``(name, scale)``, so staleness is impossible.
+
+:class:`ParallelSuiteRunner` fans (workload × config × recovery) cells out
+over a ``ProcessPoolExecutor``.  Worker processes keep their own module-level
+session, so consecutive cells for the same workload inside one worker reuse
+its traces.  Each cell has a wall-clock timeout and is retried once
+(serially, in the parent) on failure; any pool-level failure degrades the
+remaining cells to serial execution instead of aborting the suite.
+"""
+
+from __future__ import annotations
+
+import os
+from collections import Counter, OrderedDict
+from concurrent.futures import ProcessPoolExecutor, TimeoutError as FutureTimeout, process
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from ..compiler.marking import mark_static_rvp
+from ..compiler.realloc import ReallocReport, reallocate
+from ..isa.program import Program
+from ..profiling.critpath import CriticalPathBuilder
+from ..profiling.lists import ProfileLists
+from ..profiling.reuse import ReuseProfile, ReuseProfileBuilder
+from ..sim.functional import FunctionalSimulator
+from ..sim.trace import TraceRecord
+from ..uarch.config import MachineConfig
+from ..uarch.recovery import RecoveryScheme
+from ..workloads.base import Workload
+from ..workloads.suite import make_workload
+from .metrics import get_metrics
+
+#: Default LRU capacity for cached ref traces (the dominant memory cost).
+DEFAULT_TRACE_CAP = int(os.environ.get("REPRO_SESSION_TRACE_CAP", "32"))
+
+#: Program variants whose construction does not depend on profile lists.
+_THRESHOLD_FREE_VARIANTS = ("base",)
+
+
+def canonical_variant_key(
+    variant: str, threshold: Optional[float], default_threshold: float
+) -> Tuple[str, Optional[float]]:
+    """One canonical ``(variant, effective threshold)`` key for all caches.
+
+    ``base`` ignores the threshold entirely (the base program is not derived
+    from a profile); every other variant resolves ``None`` to the caller's
+    default so that explicit-default and implicit-default requests collide.
+    """
+    if variant in _THRESHOLD_FREE_VARIANTS:
+        return (variant, None)
+    return (variant, default_threshold if threshold is None else threshold)
+
+
+@dataclass
+class TrainArtifacts:
+    """Everything one streamed train-input pass produces."""
+
+    profile: ReuseProfile
+    critical: Counter
+    instructions: int
+
+
+class SimSession:
+    """Memoized functional-simulation artifacts, shared process-wide."""
+
+    def __init__(self, trace_capacity: int = DEFAULT_TRACE_CAP) -> None:
+        if trace_capacity <= 0:
+            raise ValueError("trace_capacity must be positive")
+        self.trace_capacity = trace_capacity
+        self._workloads: Dict[Tuple[str, float], Workload] = {}
+        self._train: Dict[Tuple[str, float, int], TrainArtifacts] = {}
+        self._lists: Dict[Tuple[str, float, int, float, bool], ProfileLists] = {}
+        self._programs: Dict[Tuple, Program] = {}
+        self._realloc: Dict[Tuple, ReallocReport] = {}
+        self._traces: "OrderedDict[Tuple, Tuple[TraceRecord, ...]]" = OrderedDict()
+
+    # ------------------------------------------------------------------
+    # Workloads
+    # ------------------------------------------------------------------
+    def workload(self, name: str, scale: float = 1.0) -> Workload:
+        key = (name, scale)
+        instance = self._workloads.get(key)
+        if instance is None:
+            instance = self._workloads[key] = make_workload(name, scale=scale)
+        return instance
+
+    # ------------------------------------------------------------------
+    # Train-input profiling (single streamed pass)
+    # ------------------------------------------------------------------
+    def train_artifacts(self, name: str, scale: float, max_instructions: int) -> TrainArtifacts:
+        key = (name, scale, max_instructions)
+        metrics = get_metrics()
+        artifacts = self._train.get(key)
+        if artifacts is not None:
+            metrics.inc("session.profile.hits")
+            return artifacts
+        metrics.inc("session.profile.misses")
+        workload = self.workload(name, scale)
+        program, memory = workload.build("train")
+        reuse = ReuseProfileBuilder()
+        critical = CriticalPathBuilder()
+        sim = FunctionalSimulator(program, memory=memory)
+        with metrics.timer("sim.wall"):
+            for record in sim.iter_run(max_instructions=max_instructions):
+                reuse.feed(record)
+                critical.feed(record)
+        artifacts = TrainArtifacts(
+            profile=reuse.finish(),
+            critical=critical.finish(),
+            instructions=sim.last_result.instructions,
+        )
+        self._train[key] = artifacts
+        return artifacts
+
+    def profile_lists(
+        self,
+        name: str,
+        scale: float,
+        max_instructions: int,
+        threshold: float,
+        loads_only: bool,
+    ) -> ProfileLists:
+        key = (name, scale, max_instructions, threshold, loads_only)
+        metrics = get_metrics()
+        lists = self._lists.get(key)
+        if lists is not None:
+            metrics.inc("session.lists.hits")
+            return lists
+        metrics.inc("session.lists.misses")
+        profile = self.train_artifacts(name, scale, max_instructions).profile
+        lists = self._lists[key] = profile.profile_lists(threshold, loads_only=loads_only)
+        return lists
+
+    # ------------------------------------------------------------------
+    # Program variants
+    # ------------------------------------------------------------------
+    def program_variant(
+        self,
+        name: str,
+        scale: float,
+        max_instructions: int,
+        variant: str,
+        threshold: Optional[float],
+        default_threshold: float,
+    ) -> Program:
+        """'base', 'srvp_<level>' (marked) or 'realloc' (transformed)."""
+        variant, eff_threshold = canonical_variant_key(variant, threshold, default_threshold)
+        key = (name, scale, max_instructions, variant, eff_threshold)
+        metrics = get_metrics()
+        program = self._programs.get(key)
+        if program is not None:
+            metrics.inc("session.program.hits")
+            return program
+        metrics.inc("session.program.misses")
+        base = self.workload(name, scale).program
+        if variant == "base":
+            program = base
+        elif variant.startswith("srvp_"):
+            level = variant[len("srvp_") :]
+            lists = self.profile_lists(name, scale, max_instructions, eff_threshold, loads_only=True)
+            program = mark_static_rvp(base, lists, level)
+        elif variant == "realloc":
+            artifacts = self.train_artifacts(name, scale, max_instructions)
+            lists = self.profile_lists(name, scale, max_instructions, eff_threshold, loads_only=False)
+            program, report = reallocate(base, lists, artifacts.critical)
+            self._realloc[key] = report
+        else:
+            raise ValueError(f"unknown program variant {variant!r}")
+        self._programs[key] = program
+        return program
+
+    def realloc_report(
+        self,
+        name: str,
+        scale: float,
+        max_instructions: int,
+        threshold: Optional[float],
+        default_threshold: float,
+    ) -> Optional[ReallocReport]:
+        _, eff_threshold = canonical_variant_key("realloc", threshold, default_threshold)
+        return self._realloc.get((name, scale, max_instructions, "realloc", eff_threshold))
+
+    # ------------------------------------------------------------------
+    # Ref traces (LRU-bounded)
+    # ------------------------------------------------------------------
+    def ref_trace(
+        self,
+        name: str,
+        scale: float,
+        max_instructions: int,
+        variant: str = "base",
+        threshold: Optional[float] = None,
+        default_threshold: float = 0.8,
+        input_name: str = "ref",
+    ) -> Tuple[TraceRecord, ...]:
+        """The committed trace of one program variant on one input.
+
+        Returns an immutable tuple shared by every caller; repeated requests
+        for the same canonical key are cache hits and run no simulation.
+        """
+        variant, eff_threshold = canonical_variant_key(variant, threshold, default_threshold)
+        key = (name, scale, max_instructions, variant, eff_threshold, input_name)
+        metrics = get_metrics()
+        trace = self._traces.get(key)
+        if trace is not None:
+            self._traces.move_to_end(key)
+            metrics.inc("session.trace.hits")
+            return trace
+        metrics.inc("session.trace.misses")
+        program = self.program_variant(name, scale, max_instructions, variant, eff_threshold, default_threshold)
+        memory = self.workload(name, scale).memory(input_name)
+        sim = FunctionalSimulator(program, memory=memory)
+        with metrics.timer("sim.wall"):
+            trace = tuple(sim.iter_run(max_instructions=max_instructions))
+        self._traces[key] = trace
+        while len(self._traces) > self.trace_capacity:
+            self._traces.popitem(last=False)
+            metrics.inc("session.trace.evictions")
+        return trace
+
+    # ------------------------------------------------------------------
+    # Maintenance
+    # ------------------------------------------------------------------
+    def reset(self) -> None:
+        """Drop every cached artifact (tests, long-lived processes)."""
+        self._workloads.clear()
+        self._train.clear()
+        self._lists.clear()
+        self._programs.clear()
+        self._realloc.clear()
+        self._traces.clear()
+
+
+#: The process-wide session every ExperimentRunner shares by default.
+_GLOBAL = SimSession()
+
+
+def get_session() -> SimSession:
+    """The process-wide :class:`SimSession`."""
+    return _GLOBAL
+
+
+def reset_session() -> None:
+    """Clear the process-wide session (tests, memory pressure)."""
+    _GLOBAL.reset()
+
+
+# ======================================================================
+# Parallel suite execution
+# ======================================================================
+@dataclass(frozen=True)
+class SuiteCell:
+    """One (workload, config, recovery) unit of suite work."""
+
+    workload: str
+    config: str
+    recovery: str
+
+
+@dataclass
+class SuiteReport:
+    """Outcome of a :class:`ParallelSuiteRunner` run."""
+
+    results: List = field(default_factory=list)  # List[ExperimentResult]
+    failures: Dict[SuiteCell, str] = field(default_factory=dict)
+    used_processes: bool = False
+
+
+def _run_cell(
+    cell: SuiteCell,
+    machine: Optional[MachineConfig],
+    max_instructions: int,
+    threshold: float,
+    scale: float,
+):
+    """Top-level worker (picklable): run one cell in this process's session."""
+    from .experiment import ExperimentRunner
+
+    runner = ExperimentRunner(
+        cell.workload,
+        scale=scale,
+        machine=machine,
+        max_instructions=max_instructions,
+        threshold=threshold,
+    )
+    return runner.run(cell.config, recovery=RecoveryScheme.parse(cell.recovery))
+
+
+class ParallelSuiteRunner:
+    """Fan (workload × config × recovery) cells out over worker processes.
+
+    Worker processes inherit nothing from the parent's session; each keeps
+    its own, so cells for the same workload that land on the same worker
+    share traces.  Failed or timed-out cells are retried once serially in
+    the parent; a broken pool degrades the rest of the run to serial.
+    """
+
+    def __init__(
+        self,
+        workloads: Sequence[str],
+        configs: Sequence[str],
+        recoveries: Sequence[RecoveryScheme] = (RecoveryScheme.SELECTIVE,),
+        machine: Optional[MachineConfig] = None,
+        max_instructions: int = 40_000,
+        threshold: float = 0.8,
+        scale: float = 1.0,
+        jobs: Optional[int] = None,
+        cell_timeout: float = 600.0,
+    ) -> None:
+        self.cells = [
+            SuiteCell(workload, config, recovery.value)
+            for workload in workloads
+            for config in configs
+            for recovery in recoveries
+        ]
+        self.machine = machine
+        self.max_instructions = max_instructions
+        self.threshold = threshold
+        self.scale = scale
+        self.jobs = jobs if jobs is not None else (os.cpu_count() or 1)
+        self.cell_timeout = cell_timeout
+
+    # ------------------------------------------------------------------
+    def run(self) -> SuiteReport:
+        metrics = get_metrics()
+        metrics.inc("pool.cells", len(self.cells))
+        report = SuiteReport()
+        if self.jobs <= 1 or len(self.cells) <= 1:
+            self._run_serial(self.cells, report)
+            return report
+        try:
+            self._run_parallel(report)
+            report.used_processes = True
+        except (process.BrokenProcessPool, OSError, RuntimeError) as exc:
+            # Pool-level failure (sandboxed fork, dead workers, ...): finish
+            # whatever is left serially rather than losing the suite.
+            metrics.inc("pool.serial_fallbacks")
+            done = {(r.workload, r.config, r.recovery) for r in report.results}
+            remaining = [
+                cell
+                for cell in self.cells
+                if (cell.workload, cell.config, cell.recovery) not in done and cell not in report.failures
+            ]
+            self._run_serial(remaining, report, note=f"pool failure: {exc}")
+        return report
+
+    # ------------------------------------------------------------------
+    def _run_serial(self, cells: Sequence[SuiteCell], report: SuiteReport, note: str = "") -> None:
+        metrics = get_metrics()
+        for cell in cells:
+            try:
+                report.results.append(self._run_local(cell))
+                metrics.inc("pool.cells_serial")
+            except Exception as exc:  # pragma: no cover - defensive
+                report.failures[cell] = f"{note + ': ' if note else ''}{exc!r}"
+
+    def _run_local(self, cell: SuiteCell):
+        return _run_cell(cell, self.machine, self.max_instructions, self.threshold, self.scale)
+
+    def _run_parallel(self, report: SuiteReport) -> None:
+        metrics = get_metrics()
+        workers = max(1, min(self.jobs, len(self.cells)))
+        metrics.inc("pool.workers", workers)
+        with ProcessPoolExecutor(max_workers=workers) as pool:
+            futures = {
+                pool.submit(
+                    _run_cell, cell, self.machine, self.max_instructions, self.threshold, self.scale
+                ): cell
+                for cell in self.cells
+            }
+            with metrics.timer("pool.wall"):
+                for future, cell in futures.items():
+                    try:
+                        report.results.append(future.result(timeout=self.cell_timeout))
+                        metrics.inc("pool.cells_parallel")
+                    except process.BrokenProcessPool:
+                        raise
+                    except Exception as exc:
+                        if isinstance(exc, (FutureTimeout, TimeoutError)):
+                            metrics.inc("pool.timeouts")
+                            future.cancel()
+                        self._retry_cell(cell, exc, report)
+
+    def _retry_cell(self, cell: SuiteCell, first_error: Exception, report: SuiteReport) -> None:
+        """Retry a failed cell once, serially in the parent process."""
+        metrics = get_metrics()
+        metrics.inc("pool.retries")
+        try:
+            report.results.append(self._run_local(cell))
+        except Exception as exc:
+            report.failures[cell] = f"first: {first_error!r}; retry: {exc!r}"

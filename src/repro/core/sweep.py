@@ -18,13 +18,23 @@ pressure, storage cost and confidence filtering.  :func:`sweep_machine` and
 
 from __future__ import annotations
 
-from typing import Callable, Dict, Iterable, Sequence, Tuple
+import numbers
+from typing import Callable, Dict, Iterable, List, Sequence, Tuple
 
 from ..uarch.config import MachineConfig
 from ..uarch.recovery import RecoveryScheme
 from .experiment import ExperimentRunner
 
 SweepRows = Dict[Tuple[object, str, str], float]  # (point, workload, config) -> IPC
+
+
+def _ordered_points(points: Iterable[object]) -> List[object]:
+    """Sweep points in numeric order when all are numeric ([8, 16, 64], not
+    [16, 64, 8]); fall back to ``str`` order for mixed or symbolic points."""
+    items = list(points)
+    if items and all(isinstance(p, numbers.Real) and not isinstance(p, bool) for p in items):
+        return sorted(items)
+    return sorted(items, key=str)
 
 
 def sweep_machine(
@@ -36,7 +46,13 @@ def sweep_machine(
     max_instructions: int = 25_000,
     recovery: RecoveryScheme = RecoveryScheme.SELECTIVE,
 ) -> SweepRows:
-    """Run ``configs`` x ``workloads`` at every sweep point; returns IPCs."""
+    """Run ``configs`` x ``workloads`` at every sweep point; returns IPCs.
+
+    The architectural trace does not depend on the machine configuration, so
+    all sweep points share one functional-sim run per (workload, program
+    variant) through the process-wide :class:`~repro.core.session.SimSession`
+    — only the cycle-level pipeline re-runs per point.
+    """
     rows: SweepRows = {}
     for point in points:
         machine = make_machine(point)
@@ -60,14 +76,14 @@ def speedup_series(rows: SweepRows, workload: str, config: str, baseline: str = 
     points = {point for point, w, _ in rows if w == workload}
     return {
         point: rows[(point, workload, config)] / rows[(point, workload, baseline)]
-        for point in sorted(points, key=str)
+        for point in _ordered_points(points)
         if (point, workload, baseline) in rows
     }
 
 
 def render_sweep(rows: SweepRows, title: str = "") -> str:
     """Simple table: one row per (workload, config), one column per point."""
-    points = sorted({p for p, _, _ in rows}, key=str)
+    points = _ordered_points({p for p, _, _ in rows})
     pairs = sorted({(w, c) for _, w, c in rows})
     lines = [title] if title else []
     header = [f"{'workload/config':28s}"] + [f"{str(p):>10s}" for p in points]

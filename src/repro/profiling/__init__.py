@@ -1,13 +1,15 @@
 """Profiling: register reuse, deadness, last-value locality, critical path."""
 
-from .critpath import critical_path_profile
+from .critpath import CriticalPathBuilder, critical_path_profile
 from .deadness import NUM_REG_IDS, reg_id, resolve_deadness
 from .lists import DeadHint, HintKind, ProfileLists
-from .reuse import Fig1Stats, MAX_MATCHES, ReuseProfile, SiteStats
+from .reuse import Fig1Stats, MAX_MATCHES, ReuseProfile, ReuseProfileBuilder, SiteStats
 from .stride import StrideProfile, StrideSite
 from .value import ValueProfile, ValueSite
 
 __all__ = [
+    "CriticalPathBuilder",
+    "ReuseProfileBuilder",
     "critical_path_profile",
     "NUM_REG_IDS",
     "reg_id",

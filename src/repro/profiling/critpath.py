@@ -14,23 +14,29 @@ reuses to abandon when the interference graph cannot be coloured.
 from __future__ import annotations
 
 from collections import Counter
-from typing import Dict, List, Optional, Sequence
+from typing import Dict, Iterable, List, Optional
 
 from ..sim.trace import TraceRecord
 from .deadness import NUM_REG_IDS, reg_id
 
 
-def critical_path_profile(trace: Sequence[TraceRecord]) -> Counter:
-    """Counter mapping static pc -> dynamic instances on the critical path."""
-    if not trace:
-        return Counter()
+class CriticalPathBuilder:
+    """Incremental single-pass critical-path profiler.
 
-    depth: List[int] = [0] * len(trace)
-    parent: List[Optional[int]] = [None] * len(trace)
-    reg_producer: List[Optional[int]] = [None] * NUM_REG_IDS
-    mem_producer: Dict[int, int] = {}
+    Feed committed records in order, then call :meth:`finish`.  Only three
+    ints per dynamic instruction are retained (depth, parent, static pc), so
+    the full :class:`TraceRecord` stream never needs to be materialized.
+    """
 
-    for i, record in enumerate(trace):
+    def __init__(self) -> None:
+        self._depth: List[int] = []
+        self._parent: List[Optional[int]] = []
+        self._pcs: List[int] = []
+        self._reg_producer: List[Optional[int]] = [None] * NUM_REG_IDS
+        self._mem_producer: Dict[int, int] = {}
+
+    def feed(self, record: TraceRecord) -> None:
+        depth = self._depth
         best_depth = 0
         best_parent: Optional[int] = None
 
@@ -42,24 +48,37 @@ def critical_path_profile(trace: Sequence[TraceRecord]) -> Counter:
 
         for src in record.inst.reads:
             if not src.is_zero:
-                consider(reg_producer[reg_id(src)])
+                consider(self._reg_producer[reg_id(src)])
         if record.is_load and record.addr is not None:
-            consider(mem_producer.get(record.addr))
+            consider(self._mem_producer.get(record.addr))
 
-        depth[i] = best_depth + 1
-        parent[i] = best_parent
+        i = len(depth)
+        depth.append(best_depth + 1)
+        self._parent.append(best_parent)
+        self._pcs.append(record.pc)
 
         dst = record.inst.writes
         if dst is not None and record.result is not None:
-            reg_producer[reg_id(dst)] = i
+            self._reg_producer[reg_id(dst)] = i
         if record.inst.is_store and record.addr is not None:
-            mem_producer[record.addr] = i
+            self._mem_producer[record.addr] = i
 
-    # Walk the deepest chain backward, attributing instances to static pcs.
-    tip = max(range(len(trace)), key=lambda i: depth[i])
-    contributions: Counter = Counter()
-    node: Optional[int] = tip
-    while node is not None:
-        contributions[trace[node].pc] += 1
-        node = parent[node]
-    return contributions
+    def finish(self) -> Counter:
+        """Walk the deepest chain backward, attributing instances to pcs."""
+        if not self._depth:
+            return Counter()
+        tip = max(range(len(self._depth)), key=lambda i: self._depth[i])
+        contributions: Counter = Counter()
+        node: Optional[int] = tip
+        while node is not None:
+            contributions[self._pcs[node]] += 1
+            node = self._parent[node]
+        return contributions
+
+
+def critical_path_profile(trace: Iterable[TraceRecord]) -> Counter:
+    """Counter mapping static pc -> dynamic instances on the critical path."""
+    builder = CriticalPathBuilder()
+    for record in trace:
+        builder.feed(record)
+    return builder.finish()

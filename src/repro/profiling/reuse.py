@@ -1,16 +1,20 @@
 """Register-reuse profiling (paper Sections 1 and 5).
 
-Two-pass analysis over a functional trace:
+Single streamed forward pass over a functional trace
+(:class:`ReuseProfileBuilder`): it mirrors the architectural register file,
+keeps an inverted index ``value -> registers currently holding it``, and for
+every result-producing dynamic instruction records which registers already
+held the result (excluding the destination and the hardwired zeros), who
+wrote them, whether the destination itself held it (same-register reuse),
+and whether the instruction's previous dynamic result matches (last-value).
 
-1. **Forward pass** — mirrors the architectural register file, keeps an
-   inverted index ``value -> registers currently holding it``, and for every
-   result-producing dynamic instruction records which registers already held
-   the result (excluding the destination and the hardwired zeros), who wrote
-   them, whether the destination itself held it (same-register reuse), and
-   whether the instruction's previous dynamic result matches (last-value).
-2. **Backward pass** — resolves, for every recorded match, whether the
-   matched register was *dead* at that moment (see
-   :mod:`repro.profiling.deadness`).
+Deadness of each matched register is resolved *online* in the same pass: a
+match opens a pending query on the register, and the register's next
+architectural access answers it — a read means the register was live, a
+write (or end of trace) means it was dead, with reads taking precedence
+within one instruction.  This is the streaming equivalent of the backward
+sweep in :func:`repro.profiling.deadness.resolve_deadness`, and it never
+needs the trace materialized.
 
 The aggregate feeds three consumers:
 
@@ -25,11 +29,11 @@ from __future__ import annotations
 
 from collections import Counter
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Sequence, Set, Tuple
+from typing import Dict, Iterable, List, Optional, Set, Tuple
 
 from ..isa.registers import F, R, Reg
 from ..sim.trace import TraceRecord
-from .deadness import NUM_REG_IDS, reg_id, resolve_deadness
+from .deadness import NUM_REG_IDS, reg_id
 from .lists import DeadHint, ProfileLists
 
 #: Cap on per-instruction match candidates, to bound profile memory on
@@ -102,6 +106,136 @@ class Fig1Stats:
         }
 
 
+class _DeadEvent:
+    """Defers one Figure-1 ``same_or_dead`` increment until the first matched
+    register of a load proves dead (it may never, in which case it lapses)."""
+
+    __slots__ = ("fig1", "counted")
+
+    def __init__(self, fig1: Fig1Stats) -> None:
+        self.fig1 = fig1
+        self.counted = False
+
+
+class ReuseProfileBuilder:
+    """Incremental single-pass construction of a :class:`ReuseProfile`.
+
+    Feed committed records in order (e.g. straight off
+    :meth:`~repro.sim.functional.FunctionalSimulator.iter_run`), then call
+    :meth:`finish`.  Deadness queries opened by value matches are answered by
+    the matched register's next architectural access, so no backward pass —
+    and no materialized trace — is needed.
+    """
+
+    def __init__(self) -> None:
+        self._sites: Dict[int, SiteStats] = {}
+        self._fig1 = Fig1Stats()
+        self._reg_values = [0] * NUM_REG_IDS
+        self._value_to_regs: Dict[int, Set[int]] = {0: set(range(NUM_REG_IDS))}
+        self._last_writer: List[Optional[int]] = [None] * NUM_REG_IDS
+        self._last_result: Dict[int, int] = {}
+        #: rid -> open queries [(site, producer pc, deferred fig1 event)]
+        self._pending: Dict[int, List[Tuple[SiteStats, Optional[int], Optional[_DeadEvent]]]] = {}
+
+    def feed(self, record: TraceRecord) -> None:
+        result = record.result
+        dst = record.inst.writes
+        pending = self._pending
+
+        if result is not None:
+            pc = record.pc
+            site = self._sites.get(pc)
+            if site is None:
+                site = self._sites[pc] = SiteStats(pc, record.op_name, record.is_load)
+            site.count += 1
+
+            same = result == record.old_dest and dst is not None
+            if same:
+                site.same_hits += 1
+            lvp = self._last_result.get(pc) == result
+            if lvp:
+                site.lv_hits += 1
+            self._last_result[pc] = result
+
+            holders = self._value_to_regs.get(result)
+            matched: Tuple[int, ...] = ()
+            if holders and dst is not None:
+                # Only same-class registers are usable prediction sources
+                # (an fp load cannot read its prediction from an int reg).
+                dst_rid = reg_id(dst)
+                lo, hi = (0, 32) if dst.is_int else (32, 64)
+                matched = tuple(
+                    rid for rid in holders if lo <= rid < hi and rid != dst_rid and rid % 32 != 31
+                )[:MAX_MATCHES]
+            if matched:
+                site.any_hits += 1
+
+            event: Optional[_DeadEvent] = None
+            if record.is_load:
+                self._fig1.loads += 1
+                any_reg = bool(matched) or same
+                self._fig1.same += same
+                self._fig1.any_reg += any_reg
+                self._fig1.any_reg_or_lvp += any_reg or lvp
+                if same:
+                    self._fig1.same_or_dead += 1
+                elif matched:
+                    event = _DeadEvent(self._fig1)
+            for rid in matched:
+                pending.setdefault(rid, []).append((site, self._last_writer[rid], event))
+
+        # This record's own accesses are the nearest *future* accesses for
+        # every query opened at-or-before it: a read keeps the register live
+        # and takes precedence over the same instruction's write (the same
+        # semantics as resolve_deadness's backward sweep).
+        for src in record.inst.reads:
+            if not src.is_zero:
+                waiting = pending.pop(reg_id(src), None)
+                if waiting:
+                    rid = reg_id(src)
+                    for site, _, _ in waiting:
+                        site.live_hits[rid] += 1
+        if dst is not None:
+            rid = reg_id(dst)
+            waiting = pending.pop(rid, None)
+            if waiting:
+                for site, producer, event in waiting:
+                    self._resolve_dead(site, rid, producer, event)
+
+        # Apply the architectural write to the value mirrors.
+        if dst is not None and result is not None:
+            rid = reg_id(dst)
+            old = self._reg_values[rid]
+            if old != result:
+                holders = self._value_to_regs.get(old)
+                if holders is not None:
+                    holders.discard(rid)
+                    if not holders:
+                        del self._value_to_regs[old]
+                self._reg_values[rid] = result
+                self._value_to_regs.setdefault(result, set()).add(rid)
+            self._last_writer[rid] = record.pc
+
+    @staticmethod
+    def _resolve_dead(
+        site: SiteStats, rid: int, producer: Optional[int], event: Optional[_DeadEvent]
+    ) -> None:
+        site.dead_hits[rid] += 1
+        if producer is not None:
+            site.producers.setdefault(rid, Counter())[producer] += 1
+        if event is not None and not event.counted:
+            event.counted = True
+            event.fig1.same_or_dead += 1
+
+    def finish(self) -> "ReuseProfile":
+        # A register never accessed again is dead from the match onward.
+        for rid, waiting in self._pending.items():
+            for site, producer, event in waiting:
+                self._resolve_dead(site, rid, producer, event)
+        self._pending.clear()
+        return ReuseProfile(self._sites, self._fig1)
+
+
 class ReuseProfile:
     """Full register-reuse profile of one trace."""
 
@@ -113,97 +247,12 @@ class ReuseProfile:
     # Construction
     # ------------------------------------------------------------------
     @classmethod
-    def from_trace(cls, trace: Sequence[TraceRecord]) -> "ReuseProfile":
-        sites: Dict[int, SiteStats] = {}
-        fig1 = Fig1Stats()
-
-        reg_values = [0] * NUM_REG_IDS
-        value_to_regs: Dict[int, Set[int]] = {0: set(range(NUM_REG_IDS))}
-        last_writer: List[Optional[int]] = [None] * NUM_REG_IDS
-        last_result: Dict[int, int] = {}
-
-        # (seq, pc, same, lvp, matched rids, producer pcs, is_load)
-        events: List[Tuple[int, int, bool, bool, Tuple[int, ...], Tuple[Optional[int], ...], bool]] = []
-
+    def from_trace(cls, trace: Iterable[TraceRecord]) -> "ReuseProfile":
+        """Profile any iterable of committed records in one streamed pass."""
+        builder = ReuseProfileBuilder()
         for record in trace:
-            result = record.result
-            dst = record.inst.writes
-            if result is not None:
-                pc = record.pc
-                site = sites.get(pc)
-                if site is None:
-                    site = sites[pc] = SiteStats(pc, record.op_name, record.is_load)
-                site.count += 1
-
-                same = result == record.old_dest and dst is not None
-                if same:
-                    site.same_hits += 1
-                lvp = last_result.get(pc) == result
-                if lvp:
-                    site.lv_hits += 1
-                last_result[pc] = result
-
-                holders = value_to_regs.get(result)
-                matched: Tuple[int, ...] = ()
-                if holders and dst is not None:
-                    # Only same-class registers are usable prediction sources
-                    # (an fp load cannot read its prediction from an int reg).
-                    dst_rid = reg_id(dst)
-                    lo, hi = (0, 32) if dst.is_int else (32, 64)
-                    matched = tuple(
-                        rid for rid in holders if lo <= rid < hi and rid != dst_rid and rid % 32 != 31
-                    )[:MAX_MATCHES]
-                if matched:
-                    site.any_hits += 1
-                events.append(
-                    (
-                        record.seq,
-                        pc,
-                        same,
-                        lvp,
-                        matched,
-                        tuple(last_writer[rid] for rid in matched),
-                        record.is_load,
-                    )
-                )
-
-            # Apply the architectural write to the mirrors.
-            if dst is not None and result is not None:
-                rid = reg_id(dst)
-                old = reg_values[rid]
-                if old != result:
-                    holders = value_to_regs.get(old)
-                    if holders is not None:
-                        holders.discard(rid)
-                        if not holders:
-                            del value_to_regs[old]
-                    reg_values[rid] = result
-                    value_to_regs.setdefault(result, set()).add(rid)
-                last_writer[rid] = record.pc
-
-        # Backward pass: deadness of every matched register at match time.
-        queries = {(seq, rid) for seq, _, _, _, matched, _, _ in events for rid in matched}
-        deadness = resolve_deadness(trace, queries)
-
-        for seq, pc, same, lvp, matched, producers, is_load in events:
-            site = sites[pc]
-            any_dead = False
-            for rid, producer in zip(matched, producers):
-                if deadness[(seq, rid)]:
-                    site.dead_hits[rid] += 1
-                    any_dead = True
-                    if producer is not None:
-                        site.producers.setdefault(rid, Counter())[producer] += 1
-                else:
-                    site.live_hits[rid] += 1
-            if is_load:
-                fig1.loads += 1
-                any_reg = bool(matched) or same
-                fig1.same += same
-                fig1.same_or_dead += same or any_dead
-                fig1.any_reg += any_reg
-                fig1.any_reg_or_lvp += any_reg or lvp
-        return cls(sites, fig1)
+            builder.feed(record)
+        return builder.finish()
 
     # ------------------------------------------------------------------
     # Profile lists (Section 5)

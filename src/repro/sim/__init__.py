@@ -1,6 +1,6 @@
 """Functional simulation substrate: memory, architectural state, interpreter, traces."""
 
-from .functional import FunctionalSimulator, RunResult, SimulationError, run_program
+from .functional import FunctionalSimulator, RunResult, SimulationError, run_program, stream_program
 from .machine import ArchState
 from .memory import WORD_BYTES, Memory
 from .trace import TraceRecord
@@ -10,6 +10,7 @@ __all__ = [
     "RunResult",
     "SimulationError",
     "run_program",
+    "stream_program",
     "ArchState",
     "WORD_BYTES",
     "Memory",

@@ -13,7 +13,7 @@ write, with the prior destination value preserved in ``record.old_dest``).
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Callable, List, Optional, Tuple
+from typing import Callable, Iterator, List, Optional, Tuple
 
 from ..isa.instructions import Instruction
 from ..isa.opcodes import OpKind
@@ -23,6 +23,14 @@ from .memory import Memory
 from .trace import TraceRecord
 
 Observer = Callable[[TraceRecord, ArchState], None]
+
+
+def _metrics():
+    # Imported lazily: repro.core imports repro.sim at package-init time, so a
+    # module-level import here would be circular.
+    from ..core.metrics import get_metrics
+
+    return get_metrics()
 
 
 class SimulationError(RuntimeError):
@@ -49,6 +57,8 @@ class FunctionalSimulator:
         self.state = state if state is not None else ArchState()
         self.state.pc = program.entry
         self._observers: List[Observer] = []
+        #: trace-less :class:`RunResult` of the most recent (streamed) run.
+        self.last_result: Optional[RunResult] = None
 
     def add_observer(self, observer: Observer) -> None:
         self._observers.append(observer)
@@ -134,22 +144,57 @@ class FunctionalSimulator:
         )
         return record, halted
 
-    def run(self, max_instructions: int = 1_000_000, collect_trace: bool = False) -> RunResult:
-        """Run until ``halt`` or ``max_instructions`` committed instructions."""
-        trace: Optional[List[TraceRecord]] = [] if collect_trace else None
+    def iter_run(self, max_instructions: int = 1_000_000) -> Iterator[TraceRecord]:
+        """Stream the run: yield each committed :class:`TraceRecord` in turn.
+
+        Nothing is materialized — consumers that need only one pass (the
+        profilers, :func:`repro.uarch.stream.prepare_stream`) process records
+        as they commit, keeping resident memory flat.  Observers fire before
+        the record is yielded.  After the generator is exhausted (or closed),
+        :attr:`last_result` holds the trace-less :class:`RunResult`; the final
+        architectural state and memory remain live on ``self.state`` /
+        ``self.memory``.
+        """
         observers = self._observers
         halted = False
         executed = 0
-        for seq in range(max_instructions):
-            record, halted = self.step(seq)
-            executed += 1
-            if trace is not None:
-                trace.append(record)
-            for observer in observers:
-                observer(record, self.state)
-            if halted:
-                break
-        return RunResult(state=self.state, memory=self.memory, instructions=executed, halted=halted, trace=trace)
+        try:
+            for seq in range(max_instructions):
+                record, halted = self.step(seq)
+                executed += 1
+                for observer in observers:
+                    observer(record, self.state)
+                yield record
+                if halted:
+                    break
+        finally:
+            self.last_result = RunResult(
+                state=self.state, memory=self.memory, instructions=executed, halted=halted, trace=None
+            )
+            metrics = _metrics()
+            metrics.inc("sim.runs")
+            metrics.inc("sim.instructions", executed)
+
+    def run(self, max_instructions: int = 1_000_000, collect_trace: bool = False) -> RunResult:
+        """Run until ``halt`` or ``max_instructions`` committed instructions.
+
+        Eager wrapper over :meth:`iter_run`; ``collect_trace=True``
+        materializes the full record list on the result.
+        """
+        trace: Optional[List[TraceRecord]] = [] if collect_trace else None
+        if trace is None:
+            for _ in self.iter_run(max_instructions=max_instructions):
+                pass
+        else:
+            trace.extend(self.iter_run(max_instructions=max_instructions))
+        result = self.last_result
+        return RunResult(
+            state=result.state,
+            memory=result.memory,
+            instructions=result.instructions,
+            halted=result.halted,
+            trace=trace,
+        )
 
 
 def run_program(
@@ -164,3 +209,20 @@ def run_program(
     for observer in observers or []:
         sim.add_observer(observer)
     return sim.run(max_instructions=max_instructions, collect_trace=collect_trace)
+
+
+def stream_program(
+    program: Program,
+    memory: Optional[Memory] = None,
+    max_instructions: int = 1_000_000,
+    observers: Optional[List[Observer]] = None,
+) -> Tuple[FunctionalSimulator, Iterator[TraceRecord]]:
+    """Streaming counterpart of :func:`run_program`.
+
+    Returns ``(simulator, record_iterator)``; after the iterator is drained
+    the simulator's ``last_result`` / ``state`` / ``memory`` hold the outcome.
+    """
+    sim = FunctionalSimulator(program, memory=memory)
+    for observer in observers or []:
+        sim.add_observer(observer)
+    return sim, sim.iter_run(max_instructions=max_instructions)

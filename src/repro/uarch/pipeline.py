@@ -28,7 +28,7 @@ longer speculative; selective reissue holds only the dependence cone.
 from __future__ import annotations
 
 from collections import deque
-from typing import Deque, Dict, List, Optional, Sequence, Set, Tuple
+from typing import Deque, Dict, Iterable, List, Optional, Set, Tuple
 
 from ..isa.opcodes import OpKind
 from ..sim.trace import TraceRecord
@@ -41,6 +41,13 @@ from .stats import SimStats
 from .stream import StreamEntry, prepare_stream
 
 _WAIT, _ISSUED, _DONE = 0, 1, 2
+
+
+def _metrics():
+    # Lazy: repro.core imports repro.uarch transitively at package-init time.
+    from ..core.metrics import get_metrics
+
+    return get_metrics()
 
 
 class DynInst:
@@ -98,7 +105,7 @@ class PipelineSimulator:
 
     def __init__(
         self,
-        trace: Sequence[TraceRecord],
+        trace: Iterable[TraceRecord],
         predictor: ValuePredictor,
         config: MachineConfig,
         recovery: RecoveryScheme = RecoveryScheme.SELECTIVE,
@@ -135,6 +142,16 @@ class PipelineSimulator:
     # Main loop
     # ==================================================================
     def run(self, max_cycles: int = 5_000_000) -> SimStats:
+        metrics = _metrics()
+        with metrics.timer("pipeline.wall"):
+            self._run(max_cycles)
+        metrics.inc("pipeline.runs")
+        metrics.inc("pipeline.cycles", self.stats.cycles)
+        metrics.inc(f"predictor.{self.predictor.name}.predictions", self.stats.predictions)
+        metrics.inc(f"predictor.{self.predictor.name}.correct", self.stats.correct_predictions)
+        return self.stats
+
+    def _run(self, max_cycles: int) -> SimStats:
         while not self.halted:
             self.cycle += 1
             if self.cycle > max_cycles:
@@ -601,11 +618,15 @@ class PipelineSimulator:
 
 
 def simulate(
-    trace: Sequence[TraceRecord],
+    trace: Iterable[TraceRecord],
     predictor: ValuePredictor,
     config: MachineConfig,
     recovery: RecoveryScheme = RecoveryScheme.SELECTIVE,
     max_cycles: int = 5_000_000,
 ) -> SimStats:
-    """Convenience wrapper: build a pipeline and run it to completion."""
+    """Convenience wrapper: build a pipeline and run it to completion.
+
+    ``trace`` may be any iterable of committed records (cached tuple or live
+    generator); it is consumed once during stream preparation.
+    """
     return PipelineSimulator(trace, predictor, config, recovery).run(max_cycles=max_cycles)

@@ -20,7 +20,7 @@ remain dynamic; the cycle engine handles those.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, List, Optional, Sequence, Tuple
+from typing import Dict, Iterable, List, Optional, Tuple
 
 from ..isa.opcodes import FuClass, OpKind
 from ..profiling.deadness import reg_id
@@ -28,9 +28,13 @@ from ..sim.trace import TraceRecord
 from ..vp.base import PredictionSource, SourceKind, ValuePredictor
 
 
-@dataclass
+@dataclass(slots=True)
 class StreamEntry:
-    """One correct-path dynamic instruction with precomputed dependences."""
+    """One correct-path dynamic instruction with precomputed dependences.
+
+    Like :class:`~repro.sim.trace.TraceRecord`, this is a per-dynamic-
+    instruction record held for a whole pipeline run — slotted for footprint.
+    """
 
     seq: int
     record: TraceRecord
@@ -67,8 +71,13 @@ def _fu_of(record: TraceRecord) -> Tuple[str, str]:
     return "int", "int"
 
 
-def prepare_stream(trace: Sequence[TraceRecord], predictor: ValuePredictor) -> List[StreamEntry]:
-    """Precompute the pipeline stream for one trace + predictor combination."""
+def prepare_stream(trace: Iterable[TraceRecord], predictor: ValuePredictor) -> List[StreamEntry]:
+    """Precompute the pipeline stream for one trace + predictor combination.
+
+    ``trace`` may be any iterable of records — a cached tuple or a live
+    :meth:`~repro.sim.functional.FunctionalSimulator.iter_run` generator; it
+    is consumed in a single forward pass.
+    """
     entries: List[StreamEntry] = []
     last_writer: Dict[int, int] = {}
     last_store: Dict[int, int] = {}

@@ -49,6 +49,38 @@ def test_recovery_and_wide_flags(capsys):
     assert code == 0 and "refetch" in out
 
 
+def test_metrics_command_emits_json(capsys):
+    import json
+
+    code, out = run_cli(
+        capsys, "metrics", "--workload", "li", "--config", "no_predict", "lvp_all", "--max-insts", "4000"
+    )
+    assert code == 0
+    payload = json.loads(out)
+    assert payload["workloads"] == ["li"]
+    assert {cell["config"] for cell in payload["cells"]} == {"no_predict", "lvp_all"}
+    assert payload["metrics"]["counters"]["sim.runs"] >= 1
+    assert "sim.wall" in payload["metrics"]["timers"]
+
+
+def test_run_profile_flag_appends_metrics_json(capsys):
+    code, out = run_cli(
+        capsys, "run", "--workload", "li", "--config", "no_predict", "--max-insts", "4000", "--profile"
+    )
+    assert code == 0
+    assert '"counters"' in out and '"timers"' in out
+
+
+def test_suite_command_with_jobs(capsys):
+    code, out = run_cli(
+        capsys, "suite", "--config", "no_predict", "lvp_all", "--max-insts", "1500", "--jobs", "2"
+    )
+    assert code == 0
+    assert "cells done" in out
+    assert "suite speedups" in out
+    assert "FAILED" not in out
+
+
 def test_bad_workload_rejected():
     parser = build_parser()
     with pytest.raises(SystemExit):

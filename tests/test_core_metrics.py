@@ -1,0 +1,88 @@
+"""Unit tests for the counter/timer registry behind ``--profile``."""
+
+from __future__ import annotations
+
+import time
+
+from repro.core.metrics import MetricsRegistry, get_metrics, reset_metrics
+
+
+def test_counters_increment_and_read():
+    m = MetricsRegistry()
+    assert m.get("sim.runs") == 0
+    m.inc("sim.runs")
+    m.inc("sim.runs", 3)
+    assert m.get("sim.runs") == 4
+
+
+def test_timer_accumulates_wall_time():
+    m = MetricsRegistry()
+    with m.timer("sim.wall"):
+        time.sleep(0.01)
+    with m.timer("sim.wall"):
+        pass
+    assert m.seconds("sim.wall") >= 0.01
+    snap = m.snapshot()
+    assert snap["timers"]["sim.wall"]["count"] == 2
+    assert snap["timers"]["sim.wall"]["seconds"] == m.seconds("sim.wall")
+    assert snap["timers"]["sim.wall"]["mean_seconds"] == m.seconds("sim.wall") / 2
+
+
+def test_timer_records_on_exception():
+    m = MetricsRegistry()
+    try:
+        with m.timer("sim.wall"):
+            raise RuntimeError("boom")
+    except RuntimeError:
+        pass
+    assert m.snapshot()["timers"]["sim.wall"]["count"] == 1
+
+
+def test_snapshot_derived_rates():
+    m = MetricsRegistry()
+    m.inc("session.trace.hits", 3)
+    m.inc("session.trace.misses", 1)
+    m.inc("sim.instructions", 10_000)
+    m.add_time("sim.wall", 2.0)
+    snap = m.snapshot()
+    assert snap["derived"]["session.trace.hit_rate"] == 0.75
+    assert snap["derived"]["sim.instructions_per_sec"] == 5_000.0
+
+
+def test_snapshot_without_activity_has_no_rates():
+    snap = MetricsRegistry().snapshot()
+    assert snap["counters"] == {}
+    assert "session.trace.hit_rate" not in snap["derived"]
+    assert "sim.instructions_per_sec" not in snap["derived"]
+
+
+def test_reset_clears_everything():
+    m = MetricsRegistry()
+    m.inc("x")
+    m.add_time("y", 1.0)
+    m.reset()
+    assert m.get("x") == 0
+    assert m.seconds("y") == 0.0
+    assert m.snapshot()["counters"] == {}
+
+
+def test_global_registry_is_process_wide():
+    assert get_metrics() is get_metrics()
+    before = get_metrics().get("test.marker")
+    get_metrics().inc("test.marker")
+    assert get_metrics().get("test.marker") == before + 1
+
+
+def test_sim_run_populates_global_metrics():
+    from repro.sim import FunctionalSimulator
+    from repro.workloads.suite import make_workload
+
+    m = get_metrics()
+    runs_before = m.get("sim.runs")
+    insts_before = m.get("sim.instructions")
+    workload = make_workload("li")
+    result = FunctionalSimulator(workload.program, memory=workload.memory("ref")).run(
+        max_instructions=1_000
+    )
+    assert m.get("sim.runs") == runs_before + 1
+    assert m.get("sim.instructions") == insts_before + result.instructions

@@ -1,0 +1,152 @@
+"""SimSession memoization, canonical cache keys, and the parallel suite runner."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core import (
+    ExperimentRunner,
+    ParallelSuiteRunner,
+    SimSession,
+    SuiteCell,
+    canonical_variant_key,
+    get_metrics,
+    get_session,
+)
+from repro.uarch.config import table1_config
+from repro.uarch.recovery import RecoveryScheme
+
+MAX_INSTS = 4_000
+
+
+# ----------------------------------------------------------------------
+# Canonical keys (the fix for the threshold cache-key asymmetry)
+# ----------------------------------------------------------------------
+def test_canonical_key_base_drops_threshold():
+    assert canonical_variant_key("base", 0.8, 0.8) == ("base", None)
+    assert canonical_variant_key("base", 0.5, 0.8) == ("base", None)
+    assert canonical_variant_key("base", None, 0.8) == ("base", None)
+
+
+def test_canonical_key_resolves_default_threshold():
+    assert canonical_variant_key("srvp_dead", None, 0.8) == ("srvp_dead", 0.8)
+    assert canonical_variant_key("srvp_dead", 0.8, 0.8) == ("srvp_dead", 0.8)
+    assert canonical_variant_key("realloc", 0.5, 0.8) == ("realloc", 0.5)
+
+
+# ----------------------------------------------------------------------
+# Identity caching
+# ----------------------------------------------------------------------
+def test_session_returns_identical_cached_objects():
+    session = SimSession()
+    w1 = session.workload("m88ksim", 1.0)
+    w2 = session.workload("m88ksim", 1.0)
+    assert w1 is w2
+
+    t1 = session.ref_trace("m88ksim", 1.0, MAX_INSTS, "base", None, 0.8)
+    t2 = session.ref_trace("m88ksim", 1.0, MAX_INSTS, "base", None, 0.8)
+    assert t1 is t2
+    assert isinstance(t1, tuple)
+
+    p1 = session.train_artifacts("m88ksim", 1.0, MAX_INSTS)
+    p2 = session.train_artifacts("m88ksim", 1.0, MAX_INSTS)
+    assert p1 is p2
+
+
+def test_base_trace_shared_across_thresholds():
+    """'base' ignores the threshold, so any threshold maps to one trace."""
+    session = SimSession()
+    t1 = session.ref_trace("go", 1.0, MAX_INSTS, "base", None, 0.8)
+    t2 = session.ref_trace("go", 1.0, MAX_INSTS, "base", None, 0.5)
+    t3 = session.ref_trace("go", 1.0, MAX_INSTS, "base", 0.9, 0.8)
+    assert t1 is t2 is t3
+
+
+def test_variant_trace_none_threshold_resolves_to_default():
+    session = SimSession()
+    t_default = session.ref_trace("m88ksim", 1.0, MAX_INSTS, "srvp_dead", None, 0.8)
+    t_explicit = session.ref_trace("m88ksim", 1.0, MAX_INSTS, "srvp_dead", 0.8, 0.8)
+    assert t_default is t_explicit
+    t_other = session.ref_trace("m88ksim", 1.0, MAX_INSTS, "srvp_dead", 0.5, 0.8)
+    assert t_other is not t_default
+
+
+def test_second_runner_runs_zero_additional_sims():
+    """Two runners on one workload share every functional-sim artifact."""
+    session = SimSession()
+    metrics = get_metrics()
+    first = ExperimentRunner("ijpeg", max_instructions=MAX_INSTS, session=session)
+    first.run("no_predict")
+    runs_after_first = metrics.get("sim.runs")
+
+    second = ExperimentRunner("ijpeg", max_instructions=MAX_INSTS, session=session)
+    second.run("lvp_all")
+    assert metrics.get("sim.runs") == runs_after_first  # same train+ref, zero new sims
+
+
+def test_runner_uses_global_session_by_default():
+    runner = ExperimentRunner("li", max_instructions=MAX_INSTS)
+    assert runner.session is get_session()
+
+
+# ----------------------------------------------------------------------
+# LRU bounding
+# ----------------------------------------------------------------------
+def test_trace_cache_lru_eviction():
+    session = SimSession(trace_capacity=2)
+    t_go = session.ref_trace("go", 1.0, MAX_INSTS, "base", None, 0.8)
+    session.ref_trace("li", 1.0, MAX_INSTS, "base", None, 0.8)
+    # Touch go so li becomes the LRU entry, then insert a third trace.
+    assert session.ref_trace("go", 1.0, MAX_INSTS, "base", None, 0.8) is t_go
+    session.ref_trace("ijpeg", 1.0, MAX_INSTS, "base", None, 0.8)
+    assert len(session._traces) == 2
+    assert ("go", 1.0, MAX_INSTS, "base", None, "ref") in session._traces
+    assert ("li", 1.0, MAX_INSTS, "base", None, "ref") not in session._traces
+
+
+# ----------------------------------------------------------------------
+# Parallel suite runner
+# ----------------------------------------------------------------------
+SUITE_KW = dict(
+    workloads=("m88ksim", "li"),
+    configs=("no_predict", "lvp_all"),
+    recoveries=(RecoveryScheme.SELECTIVE,),
+    machine=table1_config(),
+    max_instructions=2_000,
+)
+
+
+def _check_report(report, runner):
+    assert not report.failures
+    assert len(report.results) == len(runner.cells) == 4
+    got = {(r.workload, r.config) for r in report.results}
+    assert got == {(w, c) for w in SUITE_KW["workloads"] for c in SUITE_KW["configs"]}
+    for result in report.results:
+        assert result.ipc > 0
+
+
+def test_suite_runner_serial():
+    runner = ParallelSuiteRunner(jobs=1, **SUITE_KW)
+    report = runner.run()
+    _check_report(report, runner)
+    assert not report.used_processes
+
+
+def test_suite_runner_parallel_smoke():
+    runner = ParallelSuiteRunner(jobs=2, **SUITE_KW)
+    report = runner.run()
+    _check_report(report, runner)
+    assert report.used_processes
+
+
+def test_suite_runner_matches_serial_results():
+    serial = ParallelSuiteRunner(jobs=1, **SUITE_KW).run()
+    parallel = ParallelSuiteRunner(jobs=2, **SUITE_KW).run()
+    want = {(r.workload, r.config): r.ipc for r in serial.results}
+    got = {(r.workload, r.config): r.ipc for r in parallel.results}
+    assert got == want
+
+
+def test_suite_cell_is_hashable():
+    cell = SuiteCell("m88ksim", "no_predict", "selective")
+    assert cell in {cell}
