@@ -1,0 +1,83 @@
+"""Static analysis: dataflow engine, program verifier/linter, reuse estimation.
+
+Layers (see DESIGN.md, "Static verification"):
+
+* :mod:`repro.analysis.dataflow` — generic forward/backward fixpoint solver
+  over basic blocks; liveness, reaching definitions and available copies are
+  instances.
+* :mod:`repro.analysis.facts` — per-procedure fact bundles (reaching defs,
+  def-use/use-def chains, dominance, reachability, copies).
+* :mod:`repro.analysis.verifier` — the rule registry and the ``RVP###``
+  rule catalog; compiler passes run it as an on-by-default postcondition.
+* :mod:`repro.analysis.reuse_static` — profile-free estimation of the
+  paper's reuse classes from dataflow facts alone.
+
+The engine (:mod:`.dataflow`) and the diagnostic types (:mod:`.diagnostics`)
+are dependency-free and imported eagerly; everything that depends on
+:mod:`repro.compiler` (facts, verifier, reuse estimation) is exported
+lazily via PEP 562 so that ``compiler.liveness`` can itself import the
+engine without a cycle.
+"""
+
+from .dataflow import BACKWARD, FORWARD, INTERSECT, UNION, DataflowProblem, DataflowResult, solve
+from .diagnostics import (
+    Diagnostic,
+    RuleInfo,
+    Severity,
+    VerificationError,
+    has_errors,
+    registered_rules,
+    rule,
+    summarize,
+)
+
+#: Lazily resolved name -> defining submodule (all depend on repro.compiler).
+_LAZY = {
+    "AvailableCopiesProblem": "facts",
+    "ProcedureFacts": "facts",
+    "ProgramFacts": "facts",
+    "ReachingDefsProblem": "facts",
+    "UseSite": "facts",
+    "VERIFY_ENV": "verifier",
+    "AllocationCheck": "verifier",
+    "LintConfig": "verifier",
+    "check_program": "verifier",
+    "rule_catalog": "verifier",
+    "verification_enabled": "verifier",
+    "verify_program": "verifier",
+    "ReuseClass": "reuse_static",
+    "StaticReuseEstimate": "reuse_static",
+    "StaticReuseEstimator": "reuse_static",
+    "compare_with_profile": "reuse_static",
+}
+
+__all__ = [
+    "BACKWARD",
+    "FORWARD",
+    "INTERSECT",
+    "UNION",
+    "DataflowProblem",
+    "DataflowResult",
+    "solve",
+    "Diagnostic",
+    "RuleInfo",
+    "Severity",
+    "VerificationError",
+    "has_errors",
+    "registered_rules",
+    "rule",
+    "summarize",
+    *_LAZY,
+]
+
+
+def __getattr__(name: str):
+    submodule = _LAZY.get(name)
+    if submodule is None:
+        raise AttributeError(f"module {__name__!r} has no attribute {name!r}")
+    import importlib
+
+    module = importlib.import_module(f".{submodule}", __name__)
+    value = getattr(module, name)
+    globals()[name] = value
+    return value

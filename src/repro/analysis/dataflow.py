@@ -1,0 +1,186 @@
+"""Generic CFG dataflow engine (fixpoint solver over basic blocks).
+
+One engine, many analyses: an analysis is a :class:`DataflowProblem` with a
+direction (forward/backward), a meet operator (union for *may* analyses,
+intersection for *must* analyses), and per-instruction ``gen``/``kill`` sets
+over an arbitrary hashable fact domain.  :func:`solve` runs a worklist
+fixpoint at block granularity over :meth:`Program.basic_blocks`, then lowers
+the solution to instruction grain in a single pass per block.
+
+Concrete instances in this repo:
+
+* liveness (:mod:`repro.compiler.liveness`) — backward, union,
+  gen = uses, kill = defs;
+* reaching definitions (:mod:`repro.analysis.facts`) — forward, union,
+  gen = defs at pc, kill = other defs of the same registers;
+* available copies (:mod:`repro.analysis.facts`) — forward, intersection,
+  gen = the copy made by a ``mov``, kill = copies touching defined registers.
+
+The transfer function is the standard gen/kill form:
+``out = gen ∪ (in − kill)`` (forward) or ``in = gen ∪ (out − kill)``
+(backward), composed per block for the fixpoint and replayed per instruction
+for the final facts.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, FrozenSet, Hashable, List, Set, Tuple
+
+from ..isa.program import BasicBlock, Procedure, Program
+
+FORWARD = "forward"
+BACKWARD = "backward"
+UNION = "union"
+INTERSECT = "intersect"
+
+Fact = Hashable
+
+
+class DataflowProblem:
+    """Base class for gen/kill dataflow problems.
+
+    Subclasses set :attr:`direction` and :attr:`meet`, and implement
+    :meth:`gen` and :meth:`kill`.  ``boundary()`` provides the facts flowing
+    in at the procedure entry (forward) or at every procedure exit
+    (backward); ``universe()`` is required for intersection problems (the
+    optimistic initial value for unvisited blocks).
+    """
+
+    direction: str = FORWARD
+    meet: str = UNION
+
+    def gen(self, pc: int) -> Set[Fact]:
+        raise NotImplementedError
+
+    def kill(self, pc: int) -> Set[Fact]:
+        raise NotImplementedError
+
+    def boundary(self) -> Set[Fact]:
+        return set()
+
+    def universe(self) -> Set[Fact]:
+        return set()
+
+
+@dataclass
+class DataflowResult:
+    """Instruction-grain solution of one problem over one procedure."""
+
+    proc: Procedure
+    in_facts: Dict[int, FrozenSet[Fact]]
+    out_facts: Dict[int, FrozenSet[Fact]]
+    block_in: Dict[int, FrozenSet[Fact]]
+    block_out: Dict[int, FrozenSet[Fact]]
+
+
+def _block_gen_kill(
+    problem: DataflowProblem, block: BasicBlock
+) -> Tuple[Set[Fact], Set[Fact]]:
+    """Compose per-instruction transfers into one block-level gen/kill."""
+    pcs = block.pcs() if problem.direction == FORWARD else reversed(list(block.pcs()))
+    gen: Set[Fact] = set()
+    kill: Set[Fact] = set()
+    for pc in pcs:
+        g, k = problem.gen(pc), problem.kill(pc)
+        gen = g | (gen - k)
+        kill = (kill | k) - g
+    return gen, kill
+
+
+def solve(program: Program, proc: Procedure, problem: DataflowProblem) -> DataflowResult:
+    """Run the fixpoint and lower to instruction grain."""
+    blocks = program.basic_blocks(proc)
+    if problem.direction == FORWARD:
+        edges = {b.start: list(b.successors) for b in blocks}
+    else:
+        edges = {b.start: [] for b in blocks}
+        for b in blocks:
+            for succ in b.successors:
+                edges[succ].append(b.start)
+    # ``sources[b]`` are the blocks whose solution meets into ``b``:
+    # predecessors for a forward problem, successors for a backward one.
+    sources: Dict[int, List[int]] = {b.start: [] for b in blocks}
+    for start, outs in edges.items():
+        for out in outs:
+            sources[out].append(start)
+
+    gen: Dict[int, Set[Fact]] = {}
+    kill: Dict[int, Set[Fact]] = {}
+    for block in blocks:
+        gen[block.start], kill[block.start] = _block_gen_kill(problem, block)
+
+    boundary = set(problem.boundary())
+    is_intersect = problem.meet == INTERSECT
+    universe = set(problem.universe()) if is_intersect else set()
+
+    def is_boundary_block(block: BasicBlock) -> bool:
+        if problem.direction == FORWARD:
+            return block.start == proc.start
+        return not block.successors
+
+    # meet-input and transfer-output per block, in solver orientation
+    # (forward: input = block entry; backward: input = block exit).
+    state_in: Dict[int, Set[Fact]] = {}
+    state_out: Dict[int, Set[Fact]] = {}
+    for block in blocks:
+        if is_boundary_block(block):
+            state_in[block.start] = set(boundary)
+        else:
+            state_in[block.start] = set(universe) if is_intersect else set()
+        state_out[block.start] = gen[block.start] | (state_in[block.start] - kill[block.start])
+
+    order = blocks if problem.direction == FORWARD else list(reversed(blocks))
+    changed = True
+    while changed:
+        changed = False
+        for block in order:
+            preds = sources[block.start]
+            if is_boundary_block(block):
+                merged = set(boundary)
+                for p in preds:
+                    merged |= state_out[p]  # e.g. loop back-edges into the entry block
+            elif preds:
+                if is_intersect:
+                    merged = set(state_out[preds[0]])
+                    for p in preds[1:]:
+                        merged &= state_out[p]
+                else:
+                    merged = set()
+                    for p in preds:
+                        merged |= state_out[p]
+            else:
+                # Unreachable (forward) or exitless-loop (backward) block.
+                merged = set(universe) if is_intersect else set()
+            new_out = gen[block.start] | (merged - kill[block.start])
+            if merged != state_in[block.start] or new_out != state_out[block.start]:
+                state_in[block.start] = merged
+                state_out[block.start] = new_out
+                changed = True
+
+    # Lower to instruction grain by replaying per-instruction transfers.
+    in_facts: Dict[int, FrozenSet[Fact]] = {}
+    out_facts: Dict[int, FrozenSet[Fact]] = {}
+    block_in: Dict[int, FrozenSet[Fact]] = {}
+    block_out: Dict[int, FrozenSet[Fact]] = {}
+    for block in blocks:
+        entry_state = state_in[block.start]
+        if problem.direction == FORWARD:
+            block_in[block.start] = frozenset(entry_state)
+            live = set(entry_state)
+            for pc in block.pcs():
+                in_facts[pc] = frozenset(live)
+                live = problem.gen(pc) | (live - problem.kill(pc))
+                out_facts[pc] = frozenset(live)
+            block_out[block.start] = frozenset(live)
+        else:
+            block_out[block.start] = frozenset(entry_state)
+            live = set(entry_state)
+            for pc in reversed(list(block.pcs())):
+                out_facts[pc] = frozenset(live)
+                live = problem.gen(pc) | (live - problem.kill(pc))
+                in_facts[pc] = frozenset(live)
+            block_in[block.start] = frozenset(live)
+    return DataflowResult(
+        proc=proc, in_facts=in_facts, out_facts=out_facts, block_in=block_in, block_out=block_out
+    )

@@ -28,12 +28,23 @@ Commands
 
                  python -m repro realloc --workload mgrid
 
+``lint``     Statically verify workload program variants (or an ``.s`` file)
+             against the RVP rule catalog; ``--reuse-report`` adds the
+             static-vs-profiled reuse-class comparison::
+
+                 python -m repro lint --all --variant base srvp_dead realloc
+                 python -m repro lint li --json
+                 python -m repro lint --asm bad.s
+
 ``list``     List available workloads and configuration names.
+
+Exit codes: 0 success, 1 lint errors were found, 2 usage or internal error.
 """
 
 from __future__ import annotations
 
 import argparse
+import sys
 from typing import List, Optional
 
 from .core.experiment import CONFIG_NAMES, ExperimentRunner
@@ -178,6 +189,128 @@ def _cmd_realloc(args: argparse.Namespace) -> int:
     return 0
 
 
+#: Program variants the linter knows how to build.
+LINT_VARIANTS = ("base", "srvp_same", "srvp_dead", "srvp_live", "srvp_live_lv", "realloc")
+
+
+def _lint_one(session, name: str, variant: str, args: argparse.Namespace):
+    """Build one (workload, variant) program plus its verification context."""
+    program = session.program_variant(name, 1.0, args.max_insts, variant, None, args.threshold)
+    lists = None
+    lvr_pcs = set()
+    if variant.startswith("srvp_"):
+        lists = session.profile_lists(name, 1.0, args.max_insts, args.threshold, loads_only=True)
+    elif variant == "realloc":
+        lists = session.profile_lists(name, 1.0, args.max_insts, args.threshold, loads_only=False)
+        report = session.realloc_report(name, 1.0, args.max_insts, None, args.threshold)
+        if report is not None:
+            lvr_pcs = report.lvr_pcs
+    return program, lists, lvr_pcs
+
+
+def _reuse_report(session, name: str, args: argparse.Namespace):
+    from .analysis.reuse_static import StaticReuseEstimator, compare_with_profile
+
+    program = session.workload(name).program
+    profile = session.train_artifacts(name, 1.0, args.max_insts).profile
+    lists = session.profile_lists(name, 1.0, args.max_insts, args.threshold, loads_only=True)
+    estimate = StaticReuseEstimator(program).estimate()
+    return compare_with_profile(estimate, profile, lists)
+
+
+def _cmd_lint(args: argparse.Namespace) -> int:
+    import json
+
+    from .analysis.diagnostics import VerificationError, summarize
+    from .analysis.verifier import LintConfig, rule_catalog, verify_program
+    from .core.session import get_session
+
+    if args.rules:
+        for info in rule_catalog():
+            print(f"{info.rule_id}  {info.severity.value:7s}  {info.description}")
+        return 0
+
+    config = LintConfig.parse(disabled=args.disable or (), strict=args.strict)
+    session = get_session()
+
+    workloads = sorted(WORKLOAD_CLASSES) if args.all else list(args.workload)
+    if not workloads and not args.asm:
+        print("lint: nothing to lint (name workloads, or use --all / --asm FILE)", file=sys.stderr)
+        return 2
+    unknown = [name for name in workloads if name not in WORKLOAD_CLASSES]
+    if unknown:
+        print(f"lint: unknown workload(s) {', '.join(unknown)}", file=sys.stderr)
+        return 2
+
+    targets = []  # (label, program, lists, lvr_pcs) or (label, None, exc)
+    if args.asm:
+        from .isa.assembler import AssemblerError, assemble
+
+        try:
+            with open(args.asm) as handle:
+                program = assemble(handle.read())
+        except (OSError, AssemblerError) as exc:
+            print(f"lint: cannot assemble {args.asm}: {exc}", file=sys.stderr)
+            return 2
+        targets.append((f"asm:{args.asm}", program, None, set()))
+    for name in workloads:
+        for variant in args.variant:
+            targets.append((f"{name}/{variant}", name, variant, None))
+
+    reports = []
+    any_errors = False
+    for label, first, second, third in targets:
+        if isinstance(first, str):  # (label, workload, variant, _)
+            try:
+                program, lists, lvr_pcs = _lint_one(session, first, second, args)
+            except VerificationError as exc:
+                # The session's own cache-fill postcondition already rejected
+                # this variant; report its diagnostics rather than crashing.
+                diagnostics = exc.diagnostics
+                program = None
+        else:  # (label, program, lists, lvr_pcs)
+            program, lists, lvr_pcs = first, second, third
+        if program is not None:
+            diagnostics = verify_program(program, lists=lists, lvr_pcs=lvr_pcs, config=config)
+        summary = summarize(diagnostics)
+        any_errors = any_errors or summary["error"] > 0
+        reports.append({
+            "target": label,
+            "summary": summary,
+            "diagnostics": [d.to_dict() for d in diagnostics],
+        })
+        if not args.json:
+            if not diagnostics:
+                print(f"{label}: ok")
+            else:
+                print(f"{label}: {summary['error']} error(s), {summary['warning']} warning(s)")
+                for diag in diagnostics:
+                    print(f"  {diag.render()}")
+
+    payload = {"ok": not any_errors, "targets": reports}
+    if args.reuse_report:
+        payload["reuse_report"] = [_reuse_report(session, name, args) for name in workloads]
+        if not args.json:
+            print()
+            for entry in payload["reuse_report"]:
+                counts = entry["static_counts"]
+                weighted = entry["weighted_static_fractions"]
+                fig1 = entry["profiled_fig1_fractions"]
+                print(
+                    f"{entry['program']}: {entry['static_loads']} static loads — "
+                    f"same {counts['same']}, dead {counts['dead']}, lv {counts['last_value']}; "
+                    f"weighted same {weighted['same']:.1%} (profiled {fig1['same']:.1%}), "
+                    f"dead {weighted['dead']:.1%} (profiled {fig1['dead']:.1%})"
+                )
+    if args.json:
+        print(json.dumps(payload, indent=2))
+    elif len(reports) > 1:
+        total_err = sum(r["summary"]["error"] for r in reports)
+        total_warn = sum(r["summary"]["warning"] for r in reports)
+        print(f"\nlint: {len(reports)} target(s), {total_err} error(s), {total_warn} warning(s)")
+    return 1 if any_errors else 0
+
+
 def _cmd_list(args: argparse.Namespace) -> int:
     print("workloads:")
     for name, cls in WORKLOAD_CLASSES.items():
@@ -225,18 +358,48 @@ def build_parser() -> argparse.ArgumentParser:
     _add_common(realloc_parser)
     realloc_parser.set_defaults(fn=_cmd_realloc)
 
+    lint_parser = sub.add_parser("lint", help="statically verify workload program variants")
+    lint_parser.add_argument(
+        "workload", nargs="*", metavar="WORKLOAD",
+        help="workloads to lint (default: none; use --all for every workload)",
+    )
+    lint_parser.add_argument("--all", action="store_true", help="lint every registered workload")
+    lint_parser.add_argument(
+        "--variant", nargs="+", default=["base"], choices=LINT_VARIANTS,
+        help="program variants to build and verify (default: base)",
+    )
+    lint_parser.add_argument("--asm", metavar="FILE", help="lint an assembler text file instead")
+    lint_parser.add_argument("--json", action="store_true", help="emit JSON instead of text")
+    lint_parser.add_argument("--strict", action="store_true", help="treat warnings as errors")
+    lint_parser.add_argument("--disable", nargs="+", metavar="RULE", help="rule ids to skip (e.g. RVP004)")
+    lint_parser.add_argument("--rules", action="store_true", help="print the rule catalog and exit")
+    lint_parser.add_argument(
+        "--reuse-report", action="store_true",
+        help="compare static reuse-class estimates against the profiled lists",
+    )
+    lint_parser.add_argument("--max-insts", type=int, default=40_000, help="profiling budget for variant construction")
+    lint_parser.add_argument("--threshold", type=float, default=0.8, help="profile predictability threshold")
+    lint_parser.set_defaults(fn=_cmd_lint)
+
     list_parser = sub.add_parser("list", help="list workloads and configurations")
     list_parser.set_defaults(fn=_cmd_list)
     return parser
 
 
 def main(argv: Optional[List[str]] = None) -> int:
+    """Exit codes: 0 success, 1 lint errors found, 2 usage/internal error.
+
+    (argparse usage failures raise ``SystemExit(2)`` on their own.)
+    """
     parser = build_parser()
     args = parser.parse_args(argv)
     try:
         return args.fn(args)
     except BrokenPipeError:  # e.g. `python -m repro list | head`
         return 0
+    except Exception as exc:
+        print(f"repro: internal error: {exc!r}", file=sys.stderr)
+        return 2
 
 
 if __name__ == "__main__":  # pragma: no cover - exercised via __main__

@@ -18,6 +18,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Sequence, Set, Tuple
 
+from ..analysis.diagnostics import Diagnostic, Severity
 from ..isa.registers import ALLOCATABLE_FP, ALLOCATABLE_INT, Reg
 
 _POOLS: Dict[str, Tuple[Reg, ...]] = {"int": ALLOCATABLE_INT, "fp": ALLOCATABLE_FP}
@@ -37,23 +38,58 @@ class ColorNode:
 class ColoringResult:
     assignment: Dict[int, Reg]
     uncolored: Set[int] = field(default_factory=set)
+    #: RVP009 records: one per uncolourable node / precolour conflict.
+    diagnostics: List[Diagnostic] = field(default_factory=list)
 
     @property
     def ok(self) -> bool:
-        return not self.uncolored
+        return not self.uncolored and not self.diagnostics
 
 
-def color_graph(nodes: Sequence[ColorNode], adjacency: Dict[int, Set[int]]) -> ColoringResult:
+def _spill(proc_name: str, message: str) -> Diagnostic:
+    return Diagnostic(rule="RVP009", severity=Severity.ERROR, pc=None, procedure=proc_name, message=message)
+
+
+def color_graph(
+    nodes: Sequence[ColorNode],
+    adjacency: Dict[int, Set[int]],
+    proc_name: str = "-",
+) -> ColoringResult:
     """Colour the graph; precoloured nodes keep their colour.
 
     Uses optimistic Chaitin-Briggs: simplify below-degree nodes, push the
-    rest optimistically, and report any node that finds no free colour.
+    rest optimistically, and report any node that finds no free colour as an
+    ``RVP009`` diagnostic — a node with zero free colours is *rejected*, not
+    silently assigned a clashing register.  Two precoloured neighbours that
+    already share a register are likewise reported: the input graph is
+    uncolourable as posed.
     """
     by_id = {node.node_id: node for node in nodes}
     assignment: Dict[int, Reg] = {}
+    diagnostics: List[Diagnostic] = []
+    uncolored: Set[int] = set()
     for node in nodes:
         if node.fixed is not None:
             assignment[node.node_id] = node.fixed
+
+    # Precolour sanity: fixed neighbours sharing a register cannot be fixed
+    # by any colouring of the free nodes.
+    for node in nodes:
+        if node.fixed is None:
+            continue
+        for other_id in adjacency.get(node.node_id, ()):
+            other = by_id.get(other_id)
+            if other is None or other.fixed is None or other.node_id <= node.node_id:
+                continue
+            if other.fixed == node.fixed and other.kind == node.kind:
+                uncolored.update((node.node_id, other.node_id))
+                diagnostics.append(
+                    _spill(
+                        proc_name,
+                        f"precoloured groups {node.node_id} and {other.node_id} "
+                        f"interfere but are both pinned to {node.fixed.name}",
+                    )
+                )
 
     free_ids = [node.node_id for node in nodes if node.fixed is None]
     degree = {nid: len([n for n in adjacency.get(nid, ()) if n in by_id]) for nid in free_ids}
@@ -76,7 +112,6 @@ def color_graph(nodes: Sequence[ColorNode], adjacency: Dict[int, Set[int]]) -> C
         remaining.discard(candidate)
         stack.append(candidate)
 
-    uncolored: Set[int] = set()
     while stack:
         nid = stack.pop()
         node = by_id[nid]
@@ -88,6 +123,14 @@ def color_graph(nodes: Sequence[ColorNode], adjacency: Dict[int, Set[int]]) -> C
         choice = next((reg for reg in pool if reg not in taken), None)
         if choice is None:
             uncolored.add(nid)
+            diagnostics.append(
+                _spill(
+                    proc_name,
+                    f"group {nid} ({node.kind}, preferred "
+                    f"{node.preferred.name if node.preferred is not None else '-'}) "
+                    f"found no free register: all {len(pool)} taken by neighbours",
+                )
+            )
         else:
             assignment[nid] = choice
-    return ColoringResult(assignment=assignment, uncolored=uncolored)
+    return ColoringResult(assignment=assignment, uncolored=uncolored, diagnostics=diagnostics)

@@ -17,7 +17,7 @@ no architectural consumers) and conservative for anything else.
 from __future__ import annotations
 
 from dataclasses import replace
-from typing import Dict, List, Sequence, Tuple
+from typing import Dict, List, Optional, Sequence, Tuple
 
 from ..isa.instructions import Instruction
 from ..isa.program import Procedure, Program
@@ -27,11 +27,17 @@ def insert_after(
     program: Program,
     insertions: Dict[int, Sequence[Instruction]],
     name: str = None,
+    verify: Optional[bool] = None,
 ) -> Tuple[Program, Dict[int, int]]:
     """Insert instructions after the given pcs.
 
     Returns ``(new_program, pc_map)`` where ``pc_map`` maps every original pc
     to its new pc (inserted instructions have no entry).
+
+    Postcondition (on by default, ``verify=False`` or ``REPRO_VERIFY_PASSES=0``
+    to skip): the rebuilt program passes the verifier — label/procedure
+    shifting bugs show up as RVP005 cross-boundary targets or RVP004
+    unreachable blocks.
     """
     for pc in insertions:
         if not 0 <= pc < len(program):
@@ -54,4 +60,9 @@ def insert_after(
     labels = {label: shifted(pc) for label, pc in program.labels.items()}
     procedures = [Procedure(p.name, shifted(p.start), shifted(p.end)) for p in program.procedures]
     new_program = Program(new_insts, labels, name or f"{program.name}+ins", procedures)
+
+    from ..analysis.verifier import check_program, verification_enabled
+
+    if verification_enabled(verify):
+        check_program(new_program, source=f"insert_after({program.name})", baseline=program, pc_map=pc_map)
     return new_program, pc_map

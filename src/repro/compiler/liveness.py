@@ -14,13 +14,20 @@ exit, and each procedure call uses all argument registers*.  Concretely:
 
 Implicit defs/uses are what pins boundary-crossing webs to their original
 registers during reallocation.
+
+Liveness itself is an instance of the shared CFG dataflow engine
+(:mod:`repro.analysis.dataflow`): a backward *may* (union) problem with
+``gen = uses`` and ``kill = defs`` per instruction.  Exit live-outs are the
+empty boundary set — the convention's exit uses are modelled as uses *of the
+exit instruction*, so the dataflow boundary itself carries nothing.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, FrozenSet, List, Set, Tuple
+from typing import Dict, FrozenSet, Set, Tuple
 
+from ..analysis.dataflow import BACKWARD, UNION, DataflowProblem, solve
 from ..isa.instructions import Instruction
 from ..isa.opcodes import OpKind
 from ..isa.program import Procedure, Program
@@ -64,6 +71,24 @@ def defs_and_uses(inst: Instruction) -> Tuple[Set[Reg], Set[Reg]]:
     return defs, uses
 
 
+class LivenessProblem(DataflowProblem):
+    """Backward may-liveness: gen = uses, kill = defs, empty exit boundary."""
+
+    direction = BACKWARD
+    meet = UNION
+
+    def __init__(self, program: Program, proc: Procedure) -> None:
+        self._effects: Dict[int, Tuple[Set[Reg], Set[Reg]]] = {
+            pc: defs_and_uses(program[pc]) for pc in range(proc.start, proc.end)
+        }
+
+    def gen(self, pc: int) -> Set[Reg]:
+        return self._effects[pc][1]
+
+    def kill(self, pc: int) -> Set[Reg]:
+        return self._effects[pc][0]
+
+
 @dataclass
 class LivenessInfo:
     """Liveness facts for one procedure, indexed by pc."""
@@ -81,48 +106,5 @@ class LivenessInfo:
 
 def compute_liveness(program: Program, proc: Procedure) -> LivenessInfo:
     """Backward may-liveness over the procedure CFG, to instruction grain."""
-    blocks = program.basic_blocks(proc)
-    by_start = {b.start: b for b in blocks}
-
-    # Per-block gen (upward-exposed uses) and kill (defs).
-    gen: Dict[int, Set[Reg]] = {}
-    kill: Dict[int, Set[Reg]] = {}
-    for block in blocks:
-        g: Set[Reg] = set()
-        k: Set[Reg] = set()
-        for pc in block.pcs():
-            defs, uses = defs_and_uses(program[pc])
-            g |= uses - k
-            k |= defs
-        gen[block.start] = g
-        kill[block.start] = k
-
-    # Blocks with no successors are procedure exits; their live-out is the
-    # convention's exit set (already modelled as uses of the exit instruction,
-    # so the boundary set here is empty — the exit instruction generates it).
-    block_live_in: Dict[int, Set[Reg]] = {b.start: set() for b in blocks}
-    block_live_out: Dict[int, Set[Reg]] = {b.start: set() for b in blocks}
-    changed = True
-    while changed:
-        changed = False
-        for block in reversed(blocks):
-            out: Set[Reg] = set()
-            for succ in block.successors:
-                out |= block_live_in[succ]
-            new_in = gen[block.start] | (out - kill[block.start])
-            if out != block_live_out[block.start] or new_in != block_live_in[block.start]:
-                block_live_out[block.start] = out
-                block_live_in[block.start] = new_in
-                changed = True
-
-    # Instruction-grain facts by walking each block backward once.
-    live_in: Dict[int, FrozenSet[Reg]] = {}
-    live_out: Dict[int, FrozenSet[Reg]] = {}
-    for block in blocks:
-        live: Set[Reg] = set(block_live_out[block.start])
-        for pc in reversed(list(block.pcs())):
-            live_out[pc] = frozenset(live)
-            defs, uses = defs_and_uses(program[pc])
-            live = (live - defs) | uses
-            live_in[pc] = frozenset(live)
-    return LivenessInfo(proc=proc, live_in=live_in, live_out=live_out)
+    result = solve(program, proc, LivenessProblem(program, proc))
+    return LivenessInfo(proc=proc, live_in=result.in_facts, live_out=result.out_facts)

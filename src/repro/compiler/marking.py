@@ -23,7 +23,7 @@ reuse of the value in the other register for that instruction".
 
 from __future__ import annotations
 
-from typing import Set
+from typing import Optional, Set
 
 from ..isa.instructions import Instruction
 from ..isa.program import Program
@@ -43,8 +43,18 @@ def marked_pcs(program: Program, lists: ProfileLists, level: str) -> Set[int]:
     return {pc for pc in candidates if 0 <= pc < len(program) and program[pc].is_load}
 
 
-def mark_static_rvp(program: Program, lists: ProfileLists, level: str = "same") -> Program:
-    """Return a program with the selected loads swapped to rvp opcodes."""
+def mark_static_rvp(
+    program: Program,
+    lists: ProfileLists,
+    level: str = "same",
+    verify: Optional[bool] = None,
+) -> Program:
+    """Return a program with the selected loads swapped to rvp opcodes.
+
+    Postcondition (on by default, ``verify=False`` or ``REPRO_VERIFY_PASSES=0``
+    to skip): the marked program passes the verifier — in particular RVP006,
+    every rvp opcode sits on a load whose destination can hold a prior value.
+    """
     pcs = marked_pcs(program, lists, level)
 
     def mark(inst: Instruction) -> Instruction:
@@ -52,4 +62,10 @@ def mark_static_rvp(program: Program, lists: ProfileLists, level: str = "same") 
             return inst.as_rvp_marked()
         return inst
 
-    return program.rewrite(mark, name=f"{program.name}+srvp_{level}")
+    marked = program.rewrite(mark, name=f"{program.name}+srvp_{level}")
+
+    from ..analysis.verifier import check_program, verification_enabled
+
+    if verification_enabled(verify):
+        check_program(marked, source=f"mark_static_rvp[{level}]({program.name})", lists=lists, baseline=program)
+    return marked

@@ -79,11 +79,15 @@ class ReallocReport:
     lvr_not_in_loop: int = 0
     lvr_shared: int = 0  # web shared with another loop definition
     pruned_for_coloring: int = 0  # no exclusive register available
+    #: pcs whose destination became loop-exclusive (applied LVR); the
+    #: verifier re-checks exclusivity from these (rule RVP008).
+    lvr_pcs: Set[int] = field(default_factory=set)
 
     def merged(self, other: "ReallocReport") -> "ReallocReport":
         result = ReallocReport()
         for name in vars(result):
-            setattr(result, name, getattr(self, name) + getattr(other, name))
+            mine, theirs = getattr(self, name), getattr(other, name)
+            setattr(result, name, mine | theirs if isinstance(mine, set) else mine + theirs)
         return result
 
 
@@ -92,20 +96,42 @@ def reallocate(
     lists: ProfileLists,
     critical: Optional[Counter] = None,
     loads_only: bool = False,
+    verify: Optional[bool] = None,
 ) -> Tuple[Program, ReallocReport]:
-    """Apply Section 7.3 reallocation; returns (new program, report)."""
+    """Apply Section 7.3 reallocation; returns (new program, report).
+
+    Postcondition (on by default, ``verify=False`` or ``REPRO_VERIFY_PASSES=0``
+    to skip): the rewritten program passes the verifier, including RVP007
+    (every recoloured web respects the pre-rewrite interference graph) and
+    RVP008 (applied LVR registers are genuinely loop-exclusive).
+    """
     critical = critical or Counter()
     total = ReallocReport()
     rewrites: Dict[int, Instruction] = {}
+    checks = []
     for proc in program.procedures:
-        proc_rewrites, report = _reallocate_procedure(program, proc, lists, critical, loads_only)
+        proc_rewrites, report, check = _reallocate_procedure(program, proc, lists, critical, loads_only)
         rewrites.update(proc_rewrites)
+        checks.append(check)
         total = total.merged(report)
 
     def rewrite(inst: Instruction) -> Instruction:
         return rewrites.get(inst.pc, inst)
 
-    return program.rewrite(rewrite, name=f"{program.name}+realloc"), total
+    result = program.rewrite(rewrite, name=f"{program.name}+realloc")
+
+    from ..analysis.verifier import check_program, verification_enabled
+
+    if verification_enabled(verify):
+        check_program(
+            result,
+            source=f"reallocate({program.name})",
+            lists=lists,
+            lvr_pcs=total.lvr_pcs,
+            allocations=checks,
+            baseline=program,
+        )
+    return result, total
 
 
 def _reallocate_procedure(
@@ -114,7 +140,11 @@ def _reallocate_procedure(
     lists: ProfileLists,
     critical: Counter,
     loads_only: bool,
-) -> Tuple[Dict[int, Instruction], ReallocReport]:
+) -> Tuple[Dict[int, Instruction], ReallocReport, "AllocationCheck"]:
+    # Imported here: analysis.verifier imports compiler.liveness, so a
+    # module-level import would cycle through the package __init__.
+    from ..analysis.verifier import AllocationCheck
+
     report = ReallocReport()
     liveness = compute_liveness(program, proc)
     analysis = build_webs(program, proc, liveness)
@@ -177,19 +207,24 @@ def _reallocate_procedure(
             extra_edges.setdefault(cand.def_web, set()).add(other)
             extra_edges.setdefault(other, set()).add(cand.def_web)
         report.lvr_applied += 1
+        report.lvr_pcs.add(cand.pc)
 
-    # ------------------------------------------------------------------
-    # Legality check on every web we actually moved.
-    # ------------------------------------------------------------------
-    for web in webs:
-        if assignment[web.index] != web.reg:
-            assert not web.fixed, "fixed web was moved"
-            clashing = {n for n in neighbours(web.index) if assignment[n] == assignment[web.index]}
-            assert not clashing, f"illegal recolouring of web {web.index}"
+    # The legality of every move is re-established by the RVP007/RVP008
+    # postcondition in :func:`reallocate`, which sees this context.
+    merged_adjacency = {
+        web.index: adjacency.get(web.index, set()) | extra_edges.get(web.index, set())
+        for web in webs
+    }
+    check = AllocationCheck(
+        proc_name=proc.name,
+        webs=webs,
+        adjacency=merged_adjacency,
+        assignment=dict(assignment),
+    )
 
     changed = {index for index, reg in assignment.items() if reg != webs[index].reg}
     if not changed:
-        return {}, report
+        return {}, report, check
 
     rewrites: Dict[int, Instruction] = {}
     for pc in range(proc.start, proc.end):
@@ -206,7 +241,7 @@ def _reallocate_procedure(
             new_src2 = assignment[use2.index]
         if (new_dst, new_src1, new_src2) != (inst.dst, inst.src1, inst.src2):
             rewrites[pc] = replace(inst, dst=new_dst, src1=new_src1, src2=new_src2)
-    return rewrites, report
+    return rewrites, report, check
 
 
 def _collect_dead_candidates(

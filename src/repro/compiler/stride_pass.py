@@ -55,12 +55,17 @@ def apply_stride_pass(
     program: Program,
     strides: Dict[int, int],
     lists: Optional[ProfileLists] = None,
+    verify: Optional[bool] = None,
 ) -> Tuple[Program, ProfileLists, StridePassReport]:
     """Insert shadow-stride adds for the given ``pc -> delta`` map.
 
     Returns ``(new_program, new_lists, report)``: the transformed program and
     a profile-lists object whose pcs are remapped to it, with the new stride
     hints added.  The input ``lists`` (if any) is not modified.
+
+    Postcondition (on by default, ``verify=False`` or ``REPRO_VERIFY_PASSES=0``
+    to skip): the final program is verified once here against the *remapped*
+    lists, so the inner :func:`insert_after` call skips its own check.
     """
     report = StridePassReport()
     insertions: Dict[int, List[Instruction]] = {}
@@ -90,7 +95,7 @@ def apply_stride_pass(
         insertions[pc] = [Instruction(op=opcode("add"), dst=shadow, src1=dst, imm=delta)]
         report.applied += 1
 
-    new_program, pc_map = insert_after(program, insertions, name=f"{program.name}+stride")
+    new_program, pc_map = insert_after(program, insertions, name=f"{program.name}+stride", verify=False)
 
     new_lists = ProfileLists(threshold=lists.threshold if lists else 0.8)
     if lists is not None:
@@ -102,4 +107,15 @@ def apply_stride_pass(
         if pc in pc_map and pc_map[pc] not in new_lists.dead:
             new_lists.dead[pc_map[pc]] = DeadHint(reg=shadow, producer_pc=pc_map[pc] + 1)
             new_lists.same.discard(pc_map[pc])
+
+    from ..analysis.verifier import check_program, verification_enabled
+
+    if verification_enabled(verify):
+        check_program(
+            new_program,
+            source=f"apply_stride_pass({program.name})",
+            lists=new_lists,
+            baseline=program,
+            pc_map=pc_map,
+        )
     return new_program, new_lists, report

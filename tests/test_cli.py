@@ -81,6 +81,107 @@ def test_suite_command_with_jobs(capsys):
     assert "FAILED" not in out
 
 
+def run_cli_err(capsys, *argv):
+    code = main(list(argv))
+    captured = capsys.readouterr()
+    return code, captured.out, captured.err
+
+
+def test_lint_clean_workload_exits_zero(capsys):
+    code, out = run_cli(capsys, "lint", "li", "--max-insts", "4000")
+    assert code == 0
+    assert "li/base: ok" in out
+
+
+def test_lint_all_variants_of_one_workload(capsys):
+    code, out = run_cli(
+        capsys, "lint", "mgrid", "--max-insts", "4000",
+        "--variant", "base", "srvp_same", "realloc",
+    )
+    assert code == 0
+    assert "srvp_same" in out and "realloc" in out
+
+
+def test_lint_bad_asm_exits_one(capsys, tmp_path):
+    bad = tmp_path / "bad.s"
+    bad.write_text("add r2, r1, #1\nhalt\n")  # r1 is garbage at entry
+    code, out = run_cli(capsys, "lint", "--asm", str(bad))
+    assert code == 1
+    assert "RVP003" in out
+
+
+def test_lint_clean_asm_exits_zero(capsys, tmp_path):
+    good = tmp_path / "good.s"
+    good.write_text("li r1, #1\nadd r2, r1, #1\nhalt\n")
+    code, out = run_cli(capsys, "lint", "--asm", str(good))
+    assert code == 0
+
+
+def test_lint_strict_promotes_warnings_to_exit_one(capsys, tmp_path):
+    warn = tmp_path / "warn.s"
+    warn.write_text("br end\nli r1, #1\nend:\nhalt\n")  # dead code: RVP004 warning
+    code, _ = run_cli(capsys, "lint", "--asm", str(warn))
+    assert code == 0
+    code, out = run_cli(capsys, "lint", "--asm", str(warn), "--strict")
+    assert code == 1
+    assert "RVP004" in out
+
+
+def test_lint_disable_silences_a_rule(capsys, tmp_path):
+    bad = tmp_path / "bad.s"
+    bad.write_text("add r2, r1, #1\nhalt\n")
+    code, _ = run_cli(capsys, "lint", "--asm", str(bad), "--disable", "RVP003")
+    assert code == 0
+
+
+def test_lint_unknown_workload_exits_two(capsys):
+    code, out, err = run_cli_err(capsys, "lint", "gcc")
+    assert code == 2
+    assert "gcc" in err
+
+
+def test_lint_nothing_to_lint_exits_two(capsys):
+    code, out, err = run_cli_err(capsys, "lint")
+    assert code == 2
+
+
+def test_lint_missing_asm_file_exits_two(capsys, tmp_path):
+    code, out, err = run_cli_err(capsys, "lint", "--asm", str(tmp_path / "nope.s"))
+    assert code == 2
+
+
+def test_lint_json_output(capsys):
+    import json
+
+    code, out = run_cli(capsys, "lint", "li", "--max-insts", "4000", "--json")
+    assert code == 0
+    payload = json.loads(out)
+    assert payload["ok"] is True
+    (target,) = payload["targets"]
+    assert target["summary"]["error"] == 0
+    assert isinstance(target["diagnostics"], list)
+
+
+def test_lint_rules_catalog(capsys):
+    code, out = run_cli(capsys, "lint", "--rules")
+    assert code == 0
+    for rule_id in ("RVP001", "RVP005", "RVP009"):
+        assert rule_id in out
+
+
+def test_lint_reuse_report(capsys):
+    import json
+
+    code, out = run_cli(
+        capsys, "lint", "li", "--max-insts", "4000", "--reuse-report", "--json"
+    )
+    assert code == 0
+    payload = json.loads(out)
+    (entry,) = payload["reuse_report"]
+    assert entry["program"] == "li"
+    assert set(entry["static_counts"]) == {"same", "dead", "last_value", "none"}
+
+
 def test_bad_workload_rejected():
     parser = build_parser()
     with pytest.raises(SystemExit):

@@ -102,3 +102,45 @@ def test_coloring_respects_fp_pool():
     nodes = [ColorNode(0, "fp", preferred=F[2])]
     result = color_graph(nodes, {0: set()})
     assert result.assignment[0].is_fp
+
+
+def test_zero_free_color_node_rejected_with_diagnostic():
+    from repro.isa.registers import ALLOCATABLE_INT
+
+    # One free node whose fixed neighbours occupy the whole int pool: it must
+    # be rejected with an RVP009 diagnostic, not handed a clashing register.
+    k = len(ALLOCATABLE_INT)
+    nodes = [ColorNode(i, "int", preferred=ALLOCATABLE_INT[i], fixed=ALLOCATABLE_INT[i]) for i in range(k)]
+    nodes.append(ColorNode(k, "int", preferred=ALLOCATABLE_INT[0]))
+    adjacency = {i: {k} for i in range(k)}
+    adjacency[k] = set(range(k))
+    result = color_graph(nodes, adjacency, proc_name="proc")
+    assert not result.ok
+    assert result.uncolored == {k}
+    assert k not in result.assignment
+    (diag,) = result.diagnostics
+    assert diag.rule == "RVP009" and diag.severity.name == "ERROR"
+    assert diag.procedure == "proc" and f"group {k}" in diag.message
+
+
+def test_conflicting_precolored_neighbours_rejected():
+    nodes = [
+        ColorNode(0, "int", preferred=R[5], fixed=R[5]),
+        ColorNode(1, "int", preferred=R[5], fixed=R[5]),
+    ]
+    result = color_graph(nodes, {0: {1}, 1: {0}}, proc_name="proc")
+    assert not result.ok
+    assert result.uncolored == {0, 1}
+    assert any("pinned to r5" in d.message for d in result.diagnostics)
+
+
+def test_diagnostics_alone_make_result_not_ok():
+    from repro.analysis.diagnostics import Diagnostic, Severity
+    from repro.compiler.coloring import ColoringResult
+
+    result = ColoringResult(assignment={0: R[1]})
+    assert result.ok
+    result.diagnostics.append(
+        Diagnostic(rule="RVP009", severity=Severity.ERROR, pc=None, procedure="p", message="x")
+    )
+    assert not result.ok
