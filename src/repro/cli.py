@@ -36,9 +36,19 @@ Commands
                  python -m repro lint li --json
                  python -m repro lint --asm bad.s
 
+``fuzz``     Property-based differential fuzzing: generate random verifier-clean
+             programs and judge them against the oracle families in
+             :mod:`repro.testing.oracles`; failures are greedily shrunk and can
+             be written out as assembler reproducers::
+
+                 python -m repro fuzz --runs 200 --seed 0
+                 python -m repro fuzz --runs 50 --oracle trace-equivalence --json
+                 python -m repro fuzz --runs 200 --out fuzz-repro/
+
 ``list``     List available workloads and configuration names.
 
-Exit codes: 0 success, 1 lint errors were found, 2 usage or internal error.
+Exit codes: 0 success, 1 lint/fuzz failures were found, 2 usage or internal
+error.
 """
 
 from __future__ import annotations
@@ -311,6 +321,59 @@ def _cmd_lint(args: argparse.Namespace) -> int:
     return 1 if any_errors else 0
 
 
+def _cmd_fuzz(args: argparse.Namespace) -> int:
+    import json
+    import os
+
+    from .testing import GeneratorConfig, run_fuzz
+
+    config = GeneratorConfig(
+        segments=args.segments,
+        loop_depth=args.loop_depth,
+        load_density=args.load_density,
+        register_pressure=args.register_pressure,
+        branch_mix=args.branch_mix,
+    ).validated()
+
+    def progress(done: int, total: int) -> None:
+        if not args.json and done % 50 == 0:
+            print(f"  {done}/{total} cases", file=sys.stderr)
+
+    report = run_fuzz(
+        seed=args.seed,
+        runs=args.runs,
+        oracles=args.oracle,
+        shrink=not args.no_shrink,
+        config=config,
+        progress=progress,
+    )
+
+    if args.out and report.failures:
+        os.makedirs(args.out, exist_ok=True)
+        for failure in report.failures:
+            path = os.path.join(args.out, f"seed{failure.seed}-{failure.oracle}.s")
+            with open(path, "w") as handle:
+                handle.write(f"; seed {failure.seed} oracle {failure.oracle}\n")
+                handle.write(f"; {failure.message}\n")
+                handle.write(failure.reproducer + "\n")
+
+    if args.json:
+        print(json.dumps(report.to_dict(), indent=2))
+    else:
+        for failure in report.failures:
+            print(
+                f"FAIL seed {failure.seed} [{failure.oracle}] "
+                f"{failure.original_instructions} -> {failure.shrunk_instructions} insts"
+            )
+            print(f"  {failure.message}")
+        state = "ok" if report.ok else f"{len(report.failures)} failure(s)"
+        print(
+            f"fuzz: {report.checked} case(s) checked, {report.invalid} invalid, "
+            f"{len(report.oracles)} oracle(s): {state}"
+        )
+    return 0 if report.ok else 1
+
+
 def _cmd_list(args: argparse.Namespace) -> int:
     print("workloads:")
     for name, cls in WORKLOAD_CLASSES.items():
@@ -380,6 +443,25 @@ def build_parser() -> argparse.ArgumentParser:
     lint_parser.add_argument("--max-insts", type=int, default=40_000, help="profiling budget for variant construction")
     lint_parser.add_argument("--threshold", type=float, default=0.8, help="profile predictability threshold")
     lint_parser.set_defaults(fn=_cmd_lint)
+
+    from .testing.oracles import ORACLE_FAMILIES
+
+    fuzz_parser = sub.add_parser("fuzz", help="differential fuzzing of the sim/compiler/predictor stack")
+    fuzz_parser.add_argument("--seed", type=int, default=0, help="first generator seed (seeds are consecutive)")
+    fuzz_parser.add_argument("--runs", type=int, default=100, help="number of generated programs")
+    fuzz_parser.add_argument(
+        "--oracle", nargs="+", choices=list(ORACLE_FAMILIES), default=None,
+        help="oracle families to apply (default: all four)",
+    )
+    fuzz_parser.add_argument("--no-shrink", action="store_true", help="report failures without minimising them")
+    fuzz_parser.add_argument("--json", action="store_true", help="emit the campaign report as JSON")
+    fuzz_parser.add_argument("--out", metavar="DIR", help="write shrunk reproducers (.s files) to this directory")
+    fuzz_parser.add_argument("--segments", type=int, default=4, help="generator: code segments per program")
+    fuzz_parser.add_argument("--loop-depth", type=int, default=2, help="generator: maximum loop nesting")
+    fuzz_parser.add_argument("--load-density", type=float, default=0.25, help="generator: fraction of loads")
+    fuzz_parser.add_argument("--register-pressure", type=int, default=8, help="generator: working registers")
+    fuzz_parser.add_argument("--branch-mix", type=float, default=0.4, help="generator: branchy-segment fraction")
+    fuzz_parser.set_defaults(fn=_cmd_fuzz)
 
     list_parser = sub.add_parser("list", help="list workloads and configurations")
     list_parser.set_defaults(fn=_cmd_list)

@@ -22,6 +22,13 @@ from typing import Dict, List, Optional, Sequence, Tuple
 from ..isa.instructions import Instruction
 from ..isa.program import Procedure, Program
 
+#: Test-only mutation switch: when True, the first inserted instruction is
+#: silently dropped.  Exists so the differential oracles in
+#: :mod:`repro.testing.oracles` can prove they detect a broken insertion pass
+#: (tests/test_testing_oracles.py flips it under monkeypatch).  Never set this
+#: in production code.
+_TEST_DROP_FIRST_INSERTED = False
+
 
 def insert_after(
     program: Program,
@@ -45,10 +52,14 @@ def insert_after(
 
     new_insts: List[Instruction] = []
     pc_map: Dict[int, int] = {}
+    dropped = not _TEST_DROP_FIRST_INSERTED  # mutation: lose the first insert
     for inst in program:
         pc_map[inst.pc] = len(new_insts)
         new_insts.append(inst)
         for extra in insertions.get(inst.pc, ()):
+            if not dropped:
+                dropped = True
+                continue
             new_insts.append(extra)
 
     def shifted(position: int) -> int:

@@ -100,13 +100,21 @@ def build_webs(program: Program, proc: Procedure, liveness: LivenessInfo) -> Web
     code_defs: Dict[int, Dict[Reg, Tuple[int, bool]]] = {}
     for pc in range(proc.start, proc.end):
         inst = program[pc]
-        all_defs, _ = defs_and_uses(inst)
+        all_defs, all_uses = defs_and_uses(inst)
         explicit = set(explicit_defs(inst))
         per_pc: Dict[Reg, Tuple[int, bool]] = {}
         for reg in all_defs:
             implicit = reg not in explicit
             per_pc[reg] = (new_def(pc, reg, implicit), implicit)
         code_defs[pc] = per_pc
+        # Eagerly materialise an entry def for every register read anywhere:
+        # at a join where one path defines the register and another reaches it
+        # straight from procedure entry (e.g. a loop body read on the first
+        # iteration), the entry contribution must survive the dataflow merge
+        # so the use's web is pinned, not just the in-loop definition's.
+        for reg in all_uses:
+            if not reg.is_zero:
+                entry_def_of(reg)
 
     # --- reaching definitions dataflow (block granularity) ---------------
     blocks = program.basic_blocks(proc)
@@ -131,7 +139,8 @@ def build_webs(program: Program, proc: Procedure, liveness: LivenessInfo) -> Web
         for block in blocks:
             state: Dict[Reg, Set[int]] = {}
             if block.start == proc.start:
-                pass  # entry defs are materialised lazily on lookup
+                for reg, def_id in entry_def.items():
+                    state[reg] = {def_id}
             for p in preds[block.start]:
                 for reg, ids in block_out[p].items():
                     state.setdefault(reg, set()).update(ids)

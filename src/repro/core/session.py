@@ -345,6 +345,13 @@ class ParallelSuiteRunner:
     the parent; a broken pool degrades the rest of the run to serial.
     """
 
+    #: Executor factory, ``callable(max_workers=n) -> context manager`` with
+    #: ``submit``.  Overridable per instance — the deterministic fault
+    #: injector (:mod:`repro.testing.faults`) swaps in an executor that
+    #: forces timeouts, poisoned results and pool failures so the retry and
+    #: serial-fallback paths below are exercised on purpose.
+    executor_factory = ProcessPoolExecutor
+
     def __init__(
         self,
         workloads: Sequence[str],
@@ -411,7 +418,7 @@ class ParallelSuiteRunner:
         metrics = get_metrics()
         workers = max(1, min(self.jobs, len(self.cells)))
         metrics.inc("pool.workers", workers)
-        with ProcessPoolExecutor(max_workers=workers) as pool:
+        with self.executor_factory(max_workers=workers) as pool:
             futures = {
                 pool.submit(
                     _run_cell, cell, self.machine, self.max_instructions, self.threshold, self.scale

@@ -1,0 +1,70 @@
+"""Property-based differential testing and fault injection.
+
+Four layers, composed by :func:`run_fuzz` (the engine behind ``repro fuzz``):
+
+- :mod:`~repro.testing.generator` — seeded random RVP programs that pass the
+  verifier clean (RVP001–RVP009), parameterised by loop depth, load density,
+  register pressure and branch mix.
+- :mod:`~repro.testing.oracles` — the four differential oracle families:
+  trace-equivalence, pass-preservation, predictor-sanity, recovery-invariant.
+- :mod:`~repro.testing.shrinker` — greedy block/instruction deletion while an
+  oracle still fails.
+- :mod:`~repro.testing.faults` — deterministic fault injection for
+  :class:`~repro.core.session.ParallelSuiteRunner` (timeouts, poisoned cells,
+  pool collapse) and :class:`~repro.core.session.SimSession` cache eviction.
+"""
+
+from .faults import (
+    BREAK_POOL,
+    POISON,
+    TIMEOUT,
+    FaultInjector,
+    FaultPlan,
+    FaultyExecutor,
+    PoisonedCellError,
+    evict_traces,
+    exercise_suite_recovery,
+    verify_trace_refill,
+)
+from .generator import GeneratedCase, GeneratorConfig, generate_case
+from .oracles import (
+    ORACLE_FAMILIES,
+    ORACLES,
+    CaseInvalid,
+    OracleViolation,
+    check_pass_preservation,
+    check_predictor_sanity,
+    check_recovery_invariant,
+    check_trace_equivalence,
+)
+from .runner import FuzzFailure, FuzzReport, run_fuzz
+from .shrinker import delete_pcs, shrink_case
+
+__all__ = [
+    "BREAK_POOL",
+    "POISON",
+    "TIMEOUT",
+    "CaseInvalid",
+    "FaultInjector",
+    "FaultPlan",
+    "FaultyExecutor",
+    "FuzzFailure",
+    "FuzzReport",
+    "GeneratedCase",
+    "GeneratorConfig",
+    "ORACLES",
+    "ORACLE_FAMILIES",
+    "OracleViolation",
+    "PoisonedCellError",
+    "check_pass_preservation",
+    "check_predictor_sanity",
+    "check_recovery_invariant",
+    "check_trace_equivalence",
+    "delete_pcs",
+    "evict_traces",
+    "exercise_suite_recovery",
+    "generate_case",
+    "run_fuzz",
+    "shrink_case",
+    "verify_trace_refill",
+]

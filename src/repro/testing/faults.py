@@ -1,0 +1,200 @@
+"""Deterministic fault injection for the execution layer.
+
+Two targets, matching the production fault paths that must keep working:
+
+:class:`ParallelSuiteRunner`
+    The real runner is kept; only the executor boundary is faked.
+    :class:`FaultyExecutor` is a drop-in ``ProcessPoolExecutor`` stand-in
+    that runs each submitted cell inline (same process, real experiment
+    code) but, per a seeded :class:`FaultPlan`, makes chosen futures raise a
+    worker timeout, a poisoned-result error, or a pool-level
+    ``BrokenProcessPool``.  Because the runner's own ``_run_parallel`` /
+    ``_retry_cell`` / ``_run_serial`` logic executes unmodified, a passing
+    injection run *proves* the timeout-retry and serial-fallback paths
+    recover every cell.
+
+:class:`~repro.core.session.SimSession`
+    :func:`evict_traces` forces LRU evictions on the shared trace cache;
+    :func:`verify_trace_refill` shows a post-eviction refill reproduces the
+    evicted trace bit-for-bit (staleness is impossible by construction, and
+    this checks the construction).
+"""
+
+from __future__ import annotations
+
+import random
+from concurrent.futures import TimeoutError as FutureTimeout, process
+from dataclasses import dataclass, field
+from typing import Dict, FrozenSet, List, Optional, Tuple
+
+from ..core.session import ParallelSuiteRunner, SimSession, SuiteReport
+
+#: Fault kinds a cell slot can carry.
+TIMEOUT = "timeout"
+POISON = "poison"
+BREAK_POOL = "break-pool"
+
+
+class PoisonedCellError(RuntimeError):
+    """Stands in for a worker that returned garbage (e.g. unpicklable state)."""
+
+
+@dataclass(frozen=True)
+class FaultPlan:
+    """Which submission slots fail, and how.  Slots are submission order."""
+
+    timeout_slots: FrozenSet[int] = frozenset()
+    poison_slots: FrozenSet[int] = frozenset()
+    #: slot whose result collapses the whole pool (serial-fallback path)
+    break_pool_slot: Optional[int] = None
+
+    @classmethod
+    def from_seed(
+        cls,
+        seed: int,
+        slots: int,
+        timeouts: int = 1,
+        poisons: int = 1,
+        break_pool: bool = False,
+    ) -> "FaultPlan":
+        """Deterministically pick disjoint fault slots for a given seed."""
+        rng = random.Random(seed)
+        order = list(range(slots))
+        rng.shuffle(order)
+        cursor = 0
+
+        def take(count: int) -> FrozenSet[int]:
+            nonlocal cursor
+            picked = frozenset(order[cursor : cursor + count])
+            cursor += len(picked)
+            return picked
+
+        timeout_slots = take(min(timeouts, slots))
+        poison_slots = take(min(poisons, max(0, slots - cursor)))
+        break_slot = order[cursor] if break_pool and cursor < slots else None
+        return cls(timeout_slots=timeout_slots, poison_slots=poison_slots, break_pool_slot=break_slot)
+
+    def fault_for(self, slot: int) -> Optional[str]:
+        if slot == self.break_pool_slot:
+            return BREAK_POOL
+        if slot in self.timeout_slots:
+            return TIMEOUT
+        if slot in self.poison_slots:
+            return POISON
+        return None
+
+
+class _FaultyFuture:
+    """A future that either computes inline or raises its planned fault."""
+
+    def __init__(self, fn, args, fault: Optional[str]) -> None:
+        self._fn = fn
+        self._args = args
+        self.fault = fault
+        self.cancelled = False
+
+    def result(self, timeout: Optional[float] = None):
+        if self.fault == TIMEOUT:
+            raise FutureTimeout("injected worker timeout")
+        if self.fault == POISON:
+            raise PoisonedCellError("injected poisoned cell result")
+        if self.fault == BREAK_POOL:
+            raise process.BrokenProcessPool("injected pool collapse")
+        return self._fn(*self._args)
+
+    def cancel(self) -> bool:
+        self.cancelled = True
+        return True
+
+
+class FaultyExecutor:
+    """Drop-in ``ProcessPoolExecutor`` replacement with scripted failures."""
+
+    def __init__(self, plan: FaultPlan, max_workers: Optional[int] = None) -> None:
+        self.plan = plan
+        self.max_workers = max_workers
+        self.submitted: List[_FaultyFuture] = []
+
+    def __enter__(self) -> "FaultyExecutor":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        return None
+
+    def submit(self, fn, *args, **kwargs) -> _FaultyFuture:
+        slot = len(self.submitted)
+        future = _FaultyFuture(fn, args, self.plan.fault_for(slot))
+        self.submitted.append(future)
+        return future
+
+
+@dataclass
+class FaultInjector:
+    """Installs a :class:`FaultPlan` on runners and records what it did."""
+
+    plan: FaultPlan
+    executors: List[FaultyExecutor] = field(default_factory=list)
+
+    def install(self, runner: ParallelSuiteRunner) -> ParallelSuiteRunner:
+        def factory(max_workers: Optional[int] = None) -> FaultyExecutor:
+            executor = FaultyExecutor(self.plan, max_workers)
+            self.executors.append(executor)
+            return executor
+
+        runner.executor_factory = factory
+        return runner
+
+    def injected_faults(self) -> Dict[str, int]:
+        counts: Dict[str, int] = {TIMEOUT: 0, POISON: 0, BREAK_POOL: 0}
+        for executor in self.executors:
+            for future in executor.submitted:
+                if future.fault is not None:
+                    counts[future.fault] += 1
+        return counts
+
+
+def exercise_suite_recovery(
+    plan: FaultPlan,
+    workloads=("li",),
+    configs=("no_predict",),
+    jobs: int = 2,
+    max_instructions: int = 1_500,
+    **runner_kwargs,
+) -> Tuple[SuiteReport, Dict[str, int]]:
+    """Run a faulted suite; the report shows whether every cell recovered.
+
+    The injected faults hit the executor boundary only, so every recovery
+    (retried timeout, retried poison, post-collapse serial fallback) is the
+    production code path doing its job.
+    """
+    runner = ParallelSuiteRunner(
+        workloads=workloads,
+        configs=configs,
+        jobs=jobs,
+        max_instructions=max_instructions,
+        **runner_kwargs,
+    )
+    injector = FaultInjector(plan)
+    injector.install(runner)
+    report = runner.run()
+    return report, injector.injected_faults()
+
+
+# ----------------------------------------------------------------------
+# SimSession cache faults
+# ----------------------------------------------------------------------
+def evict_traces(session: SimSession, keep: int = 0) -> int:
+    """Force LRU eviction down to ``keep`` cached traces; returns evicted count."""
+    evicted = 0
+    while len(session._traces) > max(0, keep):
+        session._traces.popitem(last=False)
+        evicted += 1
+    return evicted
+
+
+def verify_trace_refill(session: SimSession, **ref_trace_kwargs) -> bool:
+    """Prove a forced eviction is recoverable: refill equals the original."""
+    before = session.ref_trace(**ref_trace_kwargs)
+    evict_traces(session, keep=0)
+    after = session.ref_trace(**ref_trace_kwargs)
+    return before == after

@@ -1,0 +1,527 @@
+"""Differential oracles over generated programs.
+
+Four oracle families, each a callable ``oracle(case)`` registered in
+:data:`ORACLES` that raises :class:`OracleViolation` on failure:
+
+``trace-equivalence``
+    The eager (``run(collect_trace=True)``) and streaming (``iter_run``)
+    executors must produce identical record sequences, final architectural
+    state, memory and halt status.
+
+``pass-preservation``
+    Every verifier-guarded compiler pass (marking, insertion, stride,
+    reallocation) must leave observable semantics unchanged under
+    no-speculation execution: identical memory, identical per-instruction
+    results/addresses/branch outcomes, and — for the insertion-based passes —
+    a committed-instruction count that accounts for every inserted
+    instruction (a silently dropped insertion is a detected defect, not a
+    smaller program).
+
+``predictor-sanity``
+    Confidence state never escapes its encoding (resetting counters stay in
+    ``[0, COUNTER_MAX]`` for RVP, LVP and the Gabbay predictor), and static
+    RVP and dynamic RVP agree exactly on per-pc correctly-predicted counts
+    when trained on the same underlying value stream.
+
+``recovery-invariant``
+    All three recovery schemes commit the complete trace; reissue replays at
+    least as much as selective reissue; refetch squashes actually refetch;
+    and no predictor means no recovery activity anywhere.
+
+Helper entry points (``_eager_run`` / ``_streaming_run`` / ``_simulate`` /
+``_train_predictor``) are deliberate seams: the mutation self-tests
+monkeypatch them to seed defects and prove each family actually detects
+something.
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from typing import Callable, Dict, Iterable, List, Optional, Sequence, Tuple
+
+from ..analysis.diagnostics import VerificationError
+from ..compiler.insertion import insert_after
+from ..compiler.liveness import explicit_defs, explicit_uses
+from ..compiler.marking import MARKING_LEVELS, mark_static_rvp
+from ..compiler.realloc import reallocate
+from ..compiler.stride_pass import apply_stride_pass
+from ..isa.instructions import Instruction
+from ..isa.opcodes import OpKind, opcode
+from ..isa.program import Program
+from ..profiling.critpath import CriticalPathBuilder
+from ..profiling.deadness import reg_id
+from ..profiling.reuse import ReuseProfile
+from ..sim.functional import RunResult, SimulationError, run_program, stream_program
+from ..sim.trace import TraceRecord
+from ..uarch.config import table1_config
+from ..uarch.recovery import RecoveryScheme
+from ..uarch.pipeline import simulate
+from ..vp.base import NoPredictor, SourceKind, ValuePredictor
+from ..vp.confidence import COUNTER_MAX
+from ..vp.gabbay import GabbayRegisterPredictor
+from ..vp.lvp import LastValuePredictor
+from ..vp.rvp import DynamicRVP
+from ..vp.static_rvp import StaticRVP
+from .generator import GeneratedCase
+
+#: Committed-instruction budget per functional run of a generated case.
+MAX_INSTRUCTIONS = 50_000
+#: Profile threshold/min-count tuned so small generated loops produce hints.
+PROFILE_THRESHOLD = 0.6
+PROFILE_MIN_COUNT = 2
+
+
+class OracleViolation(AssertionError):
+    """A differential oracle found a divergence."""
+
+    def __init__(self, oracle: str, message: str) -> None:
+        super().__init__(f"[{oracle}] {message}")
+        self.oracle = oracle
+        self.message = message
+
+
+class CaseInvalid(RuntimeError):
+    """The case cannot be judged (did not halt in budget / malformed).
+
+    Raised instead of a violation so the fuzz runner and the shrinker can
+    discard the candidate rather than reporting a false positive.
+    """
+
+
+def _require(condition: bool, oracle: str, message: str) -> None:
+    if not condition:
+        raise OracleViolation(oracle, message)
+
+
+# ----------------------------------------------------------------------
+# Execution seams (monkeypatched by the mutation self-tests)
+# ----------------------------------------------------------------------
+def _eager_run(program: Program, memory) -> RunResult:
+    return run_program(program, memory=memory, max_instructions=MAX_INSTRUCTIONS, collect_trace=True)
+
+
+def _streaming_run(program: Program, memory):
+    sim, records = stream_program(program, memory=memory, max_instructions=MAX_INSTRUCTIONS)
+    trace = list(records)
+    return sim, trace
+
+
+def _simulate(trace: Sequence[TraceRecord], predictor: ValuePredictor, recovery: RecoveryScheme):
+    return simulate(trace, predictor, table1_config(), recovery)
+
+
+def _base_run(case: GeneratedCase) -> RunResult:
+    """The reference no-speculation run; a non-halting case is unjudgeable."""
+    try:
+        result = _eager_run(case.program, case.memory())
+    except SimulationError as exc:
+        raise CaseInvalid(f"functional run failed: {exc}") from None
+    if not result.halted:
+        raise CaseInvalid(f"did not halt within {MAX_INSTRUCTIONS} instructions")
+    return result
+
+
+def _projection(record: TraceRecord) -> Tuple:
+    """The register-allocation-independent observables of one record."""
+    return (record.pc, record.next_pc, record.result, record.addr, record.store_value, record.taken)
+
+
+# ----------------------------------------------------------------------
+# Oracle family 1: eager vs streaming trace equivalence
+# ----------------------------------------------------------------------
+def check_trace_equivalence(case: GeneratedCase) -> None:
+    name = "trace-equivalence"
+    eager = _base_run(case)
+    sim, stream_trace = _streaming_run(case.program, case.memory())
+    _require(
+        len(eager.trace) == len(stream_trace),
+        name,
+        f"eager committed {len(eager.trace)} records, streaming {len(stream_trace)}",
+    )
+    for expected, got in zip(eager.trace, stream_trace):
+        _require(expected == got, name, f"record diverges at seq {expected.seq}: {expected} != {got}")
+    _require(eager.state.state_equal(sim.state), name, "final architectural register state diverges")
+    _require(eager.memory == sim.memory, name, "final memory diverges")
+    last = sim.last_result
+    _require(last is not None and last.halted == eager.halted, name, "halt status diverges")
+    _require(last.instructions == eager.instructions, name, "instruction counts diverge")
+
+
+# ----------------------------------------------------------------------
+# Oracle family 2: compiler-pass semantic preservation
+# ----------------------------------------------------------------------
+def _same_shape_equivalent(name: str, label: str, base: RunResult, transformed: Program, case: GeneratedCase) -> RunResult:
+    """For 1:1 rewrites (marking, realloc): identical projected trace + memory."""
+    try:
+        after = _eager_run(transformed, case.memory())
+    except SimulationError as exc:
+        raise OracleViolation(name, f"{label}: transformed program crashed: {exc!r}")
+    _require(after.halted, name, f"{label}: transformed program did not halt")
+    _require(
+        after.instructions == base.instructions,
+        name,
+        f"{label}: committed {after.instructions} vs base {base.instructions}",
+    )
+    for expected, got in zip(base.trace, after.trace):
+        _require(
+            _projection(expected) == _projection(got),
+            name,
+            f"{label}: observable divergence at seq {expected.seq}: "
+            f"{_projection(expected)} != {_projection(got)}",
+        )
+    _require(after.memory == base.memory, name, f"{label}: final memory diverges")
+    return after
+
+
+def _insertion_diff(name: str, label: str, old: Program, new: Program) -> Tuple[Dict[int, int], List[int]]:
+    """Recover (pc_map, insertion sites) from an insertion-only rewrite.
+
+    Returns ``old pc -> new pc`` plus the list of old pcs each inserted
+    instruction was placed after.  Relies on inserted instructions being
+    distinguishable from the originals (self-moves / shadow-register adds,
+    which the generator never emits).
+    """
+
+    def key(inst: Instruction) -> Tuple:
+        return (inst.op.name, inst.dst, inst.src1, inst.src2, inst.imm, inst.target)
+
+    pc_map: Dict[int, int] = {}
+    sites: List[int] = []
+    i = 0
+    for j in range(len(new)):
+        if i < len(old) and key(new[j]) == key(old[i]):
+            pc_map[i] = j
+            i += 1
+        else:
+            _require(i > 0, name, f"{label}: instruction inserted before program start")
+            sites.append(i - 1)
+    _require(i == len(old), name, f"{label}: rewrite dropped {len(old) - i} original instruction(s)")
+    return pc_map, sites
+
+
+def _inserted_equivalent(
+    name: str,
+    label: str,
+    base: RunResult,
+    old: Program,
+    new: Program,
+    case: GeneratedCase,
+    dyn_counts: Counter,
+    expected_sites: Optional[Sequence[int]] = None,
+    expected_count: Optional[int] = None,
+) -> RunResult:
+    """For insertion passes: accounted committed count + projected equality.
+
+    ``expected_sites`` (exact) or ``expected_count`` (at least) pin the diff
+    against what the pass was *asked* to insert — a pass that silently drops
+    an insertion produces a self-consistent smaller program, so the recovered
+    diff alone cannot catch it.
+    """
+    pc_map, sites = _insertion_diff(name, label, old, new)
+    if expected_sites is not None:
+        _require(
+            sorted(sites) == sorted(expected_sites),
+            name,
+            f"{label}: inserted after pcs {sorted(sites)}, requested {sorted(expected_sites)}",
+        )
+    if expected_count is not None:
+        _require(
+            len(sites) == expected_count,
+            name,
+            f"{label}: {len(sites)} insertion(s) found, pass reported {expected_count}",
+        )
+    expected_extra = sum(dyn_counts[site] for site in sites)
+    try:
+        after = _eager_run(new, case.memory())
+    except SimulationError as exc:
+        raise OracleViolation(name, f"{label}: transformed program crashed: {exc!r}")
+    _require(after.halted, name, f"{label}: transformed program did not halt")
+    _require(
+        after.instructions == base.instructions + expected_extra,
+        name,
+        f"{label}: committed {after.instructions}, expected "
+        f"{base.instructions} + {expected_extra} inserted executions",
+    )
+    _require(after.memory == base.memory, name, f"{label}: final memory diverges")
+    inverse = {new_pc: old_pc for old_pc, new_pc in pc_map.items()}
+    originals = [r for r in after.trace if r.pc in inverse]
+    _require(
+        len(originals) == len(base.trace),
+        name,
+        f"{label}: {len(originals)} original-instruction commits vs base {len(base.trace)}",
+    )
+    for expected, got in zip(base.trace, originals):
+        _require(
+            (inverse[got.pc], got.result, got.addr, got.store_value, got.taken)
+            == (expected.pc, expected.result, expected.addr, expected.store_value, expected.taken),
+            name,
+            f"{label}: observable divergence at base seq {expected.seq}",
+        )
+    return after
+
+
+def _explicit_regs(program: Program):
+    touched = set()
+    for inst in program:
+        touched |= set(explicit_defs(inst)) | set(explicit_uses(inst))
+    return touched
+
+
+def check_pass_preservation(case: GeneratedCase) -> None:
+    name = "pass-preservation"
+    base = _base_run(case)
+    program = case.program
+    dyn_counts = Counter(record.pc for record in base.trace)
+    profile = ReuseProfile.from_trace(base.trace)
+    lists_loads = profile.profile_lists(PROFILE_THRESHOLD, loads_only=True, min_count=PROFILE_MIN_COUNT)
+    lists_all = profile.profile_lists(PROFILE_THRESHOLD, loads_only=False, min_count=PROFILE_MIN_COUNT)
+    critical = CriticalPathBuilder()
+    for record in base.trace:
+        critical.feed(record)
+
+    # -- static RVP marking: pure opcode swap at every level ------------
+    for level in MARKING_LEVELS:
+        try:
+            marked = mark_static_rvp(program, lists_loads, level)
+        except VerificationError as exc:
+            raise OracleViolation(name, f"marking[{level}]: verifier rejected output: {exc}")
+        _same_shape_equivalent(name, f"marking[{level}]", base, marked, case)
+
+    # -- raw insertion: benign self-moves after deterministic ALU sites --
+    int_regs = sorted((r for r in _explicit_regs(program) if r.is_int and not r.is_zero), key=lambda r: r.index)
+    scratch = int_regs[0] if int_regs else None
+    alu_sites = [
+        inst.pc
+        for inst in program
+        if inst.op.kind is OpKind.ALU and inst.writes is not None
+    ]
+    if scratch is not None and alu_sites:
+        step = max(1, len(alu_sites) // 3)
+        chosen = alu_sites[::step][:3]
+        self_move = Instruction(op=opcode("mov"), dst=scratch, src1=scratch)
+        try:
+            inserted, _ = insert_after(program, {pc: [self_move] for pc in chosen})
+        except VerificationError as exc:
+            raise OracleViolation(name, f"insertion: verifier rejected output: {exc}")
+        after = _inserted_equivalent(
+            name, "insertion", base, program, inserted, case, dyn_counts, expected_sites=chosen
+        )
+        _require(
+            after.state.state_equal(base.state),
+            name,
+            "insertion: self-moves changed final register state",
+        )
+
+    # -- stride pass: shadow adds must execute and stay shadow-only ------
+    int_sites = [
+        inst.pc
+        for inst in program
+        if inst.writes is not None and inst.writes.is_int and inst.op.kind in (OpKind.ALU, OpKind.LOAD)
+    ]
+    if int_sites:
+        step = max(1, len(int_sites) // 3)
+        strides = {pc: 1 + (case.seed + pc) % 7 for pc in int_sites[::step][:3]}
+        try:
+            strided, _, report = apply_stride_pass(program, strides, lists_all)
+        except VerificationError as exc:
+            raise OracleViolation(name, f"stride: verifier rejected output: {exc}")
+        after = _inserted_equivalent(
+            name, "stride", base, program, strided, case, dyn_counts, expected_count=report.applied
+        )
+        base_regs = _explicit_regs(program)
+        for reg in sorted(base_regs, key=lambda r: (r.kind, r.index)):
+            _require(
+                after.state.read(reg) == base.state.read(reg),
+                name,
+                f"stride: base-program register {reg.name} diverges "
+                f"({after.state.read(reg)} vs {base.state.read(reg)})",
+            )
+
+    # -- Section 7.3 reallocation: values move registers, nothing else ---
+    try:
+        realloc, _report = reallocate(program, lists_all, critical.finish())
+    except VerificationError as exc:
+        raise OracleViolation(name, f"realloc: verifier rejected output: {exc}")
+    _same_shape_equivalent(name, "realloc", base, realloc, case)
+
+
+# ----------------------------------------------------------------------
+# Oracle family 3: cross-predictor sanity
+# ----------------------------------------------------------------------
+def _train_predictor(trace: Iterable[TraceRecord], predictor: ValuePredictor) -> Dict[int, Tuple[int, int]]:
+    """Drive a predictor through a committed trace the way the pipeline does.
+
+    Mirrors :func:`repro.uarch.stream.prepare_stream`'s correctness logic
+    (same-register, correlated-register and previous-instance sources) and
+    calls ``predictor.update`` for every candidate, whether or not a
+    prediction would have been issued.  Returns ``pc -> (updates, correct)``.
+    """
+    reg_values = [0] * 64
+    last_result_of_pc: Dict[int, int] = {}
+    counts: Dict[int, Tuple[int, int]] = {}
+    for record in trace:
+        inst = record.inst
+        source = predictor.source(inst)
+        if source is not None and record.result is not None:
+            if source.kind is SourceKind.DST:
+                correct = record.result == record.old_dest
+            elif source.kind is SourceKind.REG:
+                correct = record.result == reg_values[reg_id(source.reg)]
+            else:  # STORED: previous instance of this pc
+                prev = last_result_of_pc.get(inst.pc)
+                correct = prev is not None and record.result == prev
+            predictor.update(inst.pc, correct, record.result)
+            updates, hits = counts.get(inst.pc, (0, 0))
+            counts[inst.pc] = (updates + 1, hits + (1 if correct else 0))
+        if inst.writes is not None and record.result is not None:
+            reg_values[reg_id(inst.writes)] = record.result
+        if record.result is not None:
+            last_result_of_pc[inst.pc] = record.result
+    return counts
+
+
+def _counter_cells(predictor: ValuePredictor) -> List[int]:
+    if isinstance(predictor, DynamicRVP):
+        return list(predictor.counters._counters)
+    if isinstance(predictor, (LastValuePredictor, GabbayRegisterPredictor)):
+        return list(predictor._counters)
+    return []
+
+
+def check_predictor_sanity(case: GeneratedCase) -> None:
+    name = "predictor-sanity"
+    base = _base_run(case)
+    trace = base.trace
+
+    predictors = [
+        DynamicRVP(entries=64, threshold=4),
+        DynamicRVP(entries=16, threshold=4, tagged=True),
+        LastValuePredictor(entries=64, loads_only=True),
+        LastValuePredictor(entries=16, loads_only=False),
+        GabbayRegisterPredictor(threshold=4),
+    ]
+    for predictor in predictors:
+        counts = _train_predictor(trace, predictor)
+        cells = _counter_cells(predictor)
+        _require(
+            all(0 <= cell <= COUNTER_MAX for cell in cells),
+            name,
+            f"{predictor.name}: confidence counter escaped [0, {COUNTER_MAX}]: {cells}",
+        )
+        for pc, (updates, hits) in counts.items():
+            _require(
+                0 <= hits <= updates,
+                name,
+                f"{predictor.name}: pc {pc} has {hits} correct out of {updates} updates",
+            )
+
+    # Static vs dynamic RVP: identical per-pc correct counts on the same
+    # value stream.  The marked program executes identically, so a marked
+    # load's same-register outcome must be bit-identical either way.
+    profile = ReuseProfile.from_trace(trace)
+    lists = profile.profile_lists(PROFILE_THRESHOLD, loads_only=True, min_count=PROFILE_MIN_COUNT)
+    if lists.same:
+        try:
+            marked = mark_static_rvp(case.program, lists, "same")
+        except VerificationError as exc:
+            raise OracleViolation(name, f"marking for static RVP rejected: {exc}")
+        marked_run = _eager_run(marked, case.memory())
+        static_counts = _train_predictor(marked_run.trace, StaticRVP())
+        dynamic_counts = _train_predictor(trace, DynamicRVP(loads_only=True))
+        for pc in sorted(lists.same):
+            if not case.program[pc].is_load:
+                continue
+            _require(
+                static_counts.get(pc) == dynamic_counts.get(pc),
+                name,
+                f"static vs dynamic RVP disagree at pc {pc}: "
+                f"static {static_counts.get(pc)} vs dynamic {dynamic_counts.get(pc)}",
+            )
+
+
+# ----------------------------------------------------------------------
+# Oracle family 4: recovery invariants
+# ----------------------------------------------------------------------
+def check_recovery_invariant(case: GeneratedCase) -> None:
+    name = "recovery-invariant"
+    base = _base_run(case)
+    trace = tuple(base.trace)
+
+    stats = {
+        scheme: _simulate(trace, DynamicRVP(threshold=2), scheme) for scheme in RecoveryScheme
+    }
+    for scheme, s in stats.items():
+        _require(
+            s.committed == len(trace),
+            name,
+            f"{scheme.value}: committed {s.committed} of {len(trace)} trace records",
+        )
+        _require(
+            0 <= s.correct_predictions <= s.predictions,
+            name,
+            f"{scheme.value}: {s.correct_predictions} correct of {s.predictions} predictions",
+        )
+
+    reissue, selective = stats[RecoveryScheme.REISSUE], stats[RecoveryScheme.SELECTIVE]
+    refetch = stats[RecoveryScheme.REFETCH]
+
+    # Reissue and selective see the identical rename/commit sequence, so the
+    # predictor makes the same decisions; selective replays a subset.
+    _require(
+        (reissue.predictions, reissue.correct_predictions)
+        == (selective.predictions, selective.correct_predictions),
+        name,
+        f"reissue/selective prediction streams diverge: "
+        f"{(reissue.predictions, reissue.correct_predictions)} vs "
+        f"{(selective.predictions, selective.correct_predictions)}",
+    )
+    _require(
+        reissue.reissued_instructions >= selective.reissued_instructions,
+        name,
+        f"selective replayed more than reissue "
+        f"({selective.reissued_instructions} > {reissue.reissued_instructions})",
+    )
+
+    mispredicts = refetch.predictions - refetch.correct_predictions
+    _require(
+        refetch.value_squashes <= mispredicts,
+        name,
+        f"refetch squashed {refetch.value_squashes} times on {mispredicts} mispredictions",
+    )
+    refetch_replay = refetch.fetched - refetch.committed
+    _require(
+        refetch_replay >= refetch.value_squashes,
+        name,
+        f"refetch squashes ({refetch.value_squashes}) without refetched "
+        f"instructions (fetched-committed = {refetch_replay})",
+    )
+    if mispredicts == reissue.predictions - reissue.correct_predictions:
+        # Same misprediction stream: refetch squashes everything from the
+        # first use onward (a superset of the selective cone) per event.
+        _require(
+            refetch_replay >= selective.reissued_instructions,
+            name,
+            f"refetch replayed less ({refetch_replay}) than the selective "
+            f"cone ({selective.reissued_instructions})",
+        )
+
+    for scheme in RecoveryScheme:
+        quiet = _simulate(trace, NoPredictor(), scheme)
+        _require(
+            quiet.value_squashes == 0 and quiet.reissued_instructions == 0,
+            name,
+            f"{scheme.value}: recovery activity with no predictor "
+            f"(squashes={quiet.value_squashes}, reissued={quiet.reissued_instructions})",
+        )
+        _require(quiet.committed == len(trace), name, f"{scheme.value}: no-predict run lost commits")
+
+
+#: The four oracle families, by CLI/report name.
+ORACLES: Dict[str, Callable[[GeneratedCase], None]] = {
+    "trace-equivalence": check_trace_equivalence,
+    "pass-preservation": check_pass_preservation,
+    "predictor-sanity": check_predictor_sanity,
+    "recovery-invariant": check_recovery_invariant,
+}
+
+ORACLE_FAMILIES: Tuple[str, ...] = tuple(ORACLES)

@@ -1,0 +1,135 @@
+"""The fuzz campaign driver behind ``repro fuzz``.
+
+One campaign = ``runs`` consecutive seeds starting at ``seed``; each seed is
+generated once and judged by every selected oracle family.  Failures carry a
+shrunk reproducer (greedy block/instruction deletion while the same family
+still fails) rendered as assembler text, so a CI artifact is enough to replay
+the bug without the generator.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional, Sequence
+
+from ..analysis.verifier import verify_program
+from .generator import GeneratedCase, GeneratorConfig, generate_case
+from .oracles import ORACLE_FAMILIES, ORACLES, CaseInvalid, OracleViolation
+from .shrinker import shrink_case
+
+
+@dataclass
+class FuzzFailure:
+    """One oracle violation plus its minimised reproducer."""
+
+    seed: int
+    oracle: str
+    message: str
+    original_instructions: int
+    shrunk_instructions: int
+    reproducer: str  # rendered assembler of the shrunk program
+
+    def to_dict(self) -> Dict:
+        return {
+            "seed": self.seed,
+            "oracle": self.oracle,
+            "message": self.message,
+            "original_instructions": self.original_instructions,
+            "shrunk_instructions": self.shrunk_instructions,
+            "reproducer": self.reproducer,
+        }
+
+
+@dataclass
+class FuzzReport:
+    """Outcome of one fuzz campaign."""
+
+    seed: int
+    runs: int
+    oracles: Sequence[str]
+    checked: int = 0
+    invalid: int = 0  # generated cases that could not be judged
+    failures: List[FuzzFailure] = field(default_factory=list)
+
+    @property
+    def ok(self) -> bool:
+        return not self.failures
+
+    def to_dict(self) -> Dict:
+        return {
+            "ok": self.ok,
+            "seed": self.seed,
+            "runs": self.runs,
+            "oracles": list(self.oracles),
+            "checked": self.checked,
+            "invalid": self.invalid,
+            "failures": [failure.to_dict() for failure in self.failures],
+        }
+
+
+def _still_fails_same_family(oracle: str) -> Callable[[GeneratedCase], bool]:
+    """Shrink predicate: candidate is valid, verifier-error-free, and the
+    same oracle family still rejects it."""
+    check = ORACLES[oracle]
+
+    def predicate(candidate: GeneratedCase) -> bool:
+        try:
+            if any(d.is_error for d in verify_program(candidate.program)):
+                return False
+            check(candidate)
+        except OracleViolation:
+            return True
+        except Exception:
+            return False  # malformed candidate, crash, or CaseInvalid
+        return False
+
+    return predicate
+
+
+def run_fuzz(
+    seed: int = 0,
+    runs: int = 100,
+    oracles: Optional[Sequence[str]] = None,
+    shrink: bool = True,
+    config: GeneratorConfig = GeneratorConfig(),
+    progress: Optional[Callable[[int, int], None]] = None,
+) -> FuzzReport:
+    """Run a fuzz campaign; never raises for oracle failures (see the report)."""
+    selected = list(oracles) if oracles else list(ORACLE_FAMILIES)
+    unknown = [name for name in selected if name not in ORACLES]
+    if unknown:
+        raise ValueError(f"unknown oracle(s) {unknown}; choose from {list(ORACLE_FAMILIES)}")
+
+    report = FuzzReport(seed=seed, runs=runs, oracles=selected)
+    for offset in range(runs):
+        case_seed = seed + offset
+        case = generate_case(case_seed, config)
+        judged = False
+        for oracle in selected:
+            try:
+                ORACLES[oracle](case)
+                judged = True
+            except CaseInvalid:
+                break  # no oracle can judge this case
+            except OracleViolation as violation:
+                judged = True
+                shrunk = case
+                if shrink:
+                    shrunk = shrink_case(case, _still_fails_same_family(oracle))
+                report.failures.append(
+                    FuzzFailure(
+                        seed=case_seed,
+                        oracle=oracle,
+                        message=violation.message,
+                        original_instructions=len(case.program),
+                        shrunk_instructions=len(shrunk.program),
+                        reproducer=shrunk.program.render(),
+                    )
+                )
+        if judged:
+            report.checked += 1
+        else:
+            report.invalid += 1
+        if progress is not None:
+            progress(offset + 1, runs)
+    return report

@@ -191,3 +191,61 @@ def test_bad_workload_rejected():
 def test_missing_command_rejected():
     with pytest.raises(SystemExit):
         build_parser().parse_args([])
+
+
+def test_fuzz_command_clean(capsys):
+    code, out = run_cli(capsys, "fuzz", "--runs", "5", "--seed", "0")
+    assert code == 0
+    assert "5 case(s) checked" in out
+    assert "ok" in out
+
+
+def test_fuzz_command_json(capsys):
+    import json
+
+    code, out = run_cli(capsys, "fuzz", "--runs", "3", "--seed", "2", "--json")
+    assert code == 0
+    payload = json.loads(out)
+    assert payload["ok"] is True
+    assert payload["checked"] == 3
+    assert payload["failures"] == []
+    assert len(payload["oracles"]) == 4
+
+
+def test_fuzz_command_oracle_subset(capsys):
+    import json
+
+    code, out = run_cli(
+        capsys, "fuzz", "--runs", "2", "--oracle", "trace-equivalence", "--json"
+    )
+    assert code == 0
+    payload = json.loads(out)
+    assert payload["oracles"] == ["trace-equivalence"]
+
+
+def test_fuzz_command_failure_exit_code_and_artifacts(capsys, tmp_path, monkeypatch):
+    """A seeded defect makes `repro fuzz` exit 1 and write shrunk reproducers."""
+    import json
+
+    from repro.compiler import insertion
+
+    monkeypatch.setattr(insertion, "_TEST_DROP_FIRST_INSERTED", True)
+    out_dir = tmp_path / "repro-artifacts"
+    code, out = run_cli(
+        capsys, "fuzz", "--runs", "2", "--seed", "0",
+        "--oracle", "pass-preservation", "--json", "--out", str(out_dir),
+    )
+    assert code == 1
+    payload = json.loads(out)
+    assert payload["ok"] is False
+    assert payload["failures"]
+    written = list(out_dir.glob("seed*-pass-preservation.s"))
+    assert written, "expected shrunk reproducer artifacts"
+    text = written[0].read_text()
+    assert "halt" in text  # a runnable program, not a fragment
+
+
+def test_fuzz_command_rejects_unknown_oracle():
+    parser = build_parser()
+    with pytest.raises(SystemExit):
+        parser.parse_args(["fuzz", "--oracle", "nonsense"])

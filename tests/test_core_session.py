@@ -34,6 +34,22 @@ def test_canonical_key_resolves_default_threshold():
     assert canonical_variant_key("realloc", 0.5, 0.8) == ("realloc", 0.5)
 
 
+def test_canonical_key_symmetric_across_threshold_spellings():
+    """Regression: explicit-default and implicit-default spellings of the
+    same variant MUST collide on one cache key for every srvp level (the
+    seed bug keyed a trace as 'srvp_dead' but the program as 'srvp_dead@0.8',
+    so the two spellings silently doubled the cache)."""
+    for variant in ("srvp_same", "srvp_dead", "srvp_live", "srvp_live_lv", "realloc"):
+        for default in (0.5, 0.8):
+            implicit = canonical_variant_key(variant, None, default)
+            explicit = canonical_variant_key(variant, default, default)
+            assert implicit == explicit == (variant, default), (variant, default)
+    # but a non-default explicit threshold is a distinct key
+    assert canonical_variant_key("srvp_dead", 0.5, 0.8) != canonical_variant_key("srvp_dead", None, 0.8)
+    # and base is threshold-free under every spelling
+    assert canonical_variant_key("base", None, 0.8) == canonical_variant_key("base", 0.5, 0.8)
+
+
 # ----------------------------------------------------------------------
 # Identity caching
 # ----------------------------------------------------------------------

@@ -1,0 +1,45 @@
+"""Tier-1 fuzz smoke: a fixed-seed 25-program campaign over all four oracle
+families.  Deterministic (fixed seed, no time/entropy inputs) and fast —
+the full campaign budget is a few seconds; anything slower is a regression
+in the harness itself."""
+
+from __future__ import annotations
+
+import time
+
+import pytest
+
+from repro.testing import ORACLE_FAMILIES, run_fuzz
+
+SMOKE_SEED = 0
+SMOKE_RUNS = 25
+
+
+@pytest.mark.fuzz
+def test_fuzz_smoke_fixed_seed_clean():
+    started = time.monotonic()
+    report = run_fuzz(seed=SMOKE_SEED, runs=SMOKE_RUNS)
+    elapsed = time.monotonic() - started
+
+    assert report.ok, [failure.to_dict() for failure in report.failures]
+    assert report.checked == SMOKE_RUNS
+    assert report.invalid == 0
+    assert list(report.oracles) == list(ORACLE_FAMILIES)
+    assert elapsed < 10.0, f"smoke campaign took {elapsed:.1f}s (budget 10s)"
+
+
+@pytest.mark.fuzz
+def test_fuzz_report_shape():
+    report = run_fuzz(seed=SMOKE_SEED, runs=2)
+    payload = report.to_dict()
+    assert payload["ok"] is True
+    assert payload["seed"] == SMOKE_SEED
+    assert payload["runs"] == 2
+    assert payload["failures"] == []
+    assert set(payload) >= {"ok", "seed", "runs", "oracles", "checked", "invalid", "failures"}
+
+
+@pytest.mark.fuzz
+def test_fuzz_unknown_oracle_rejected():
+    with pytest.raises(ValueError, match="unknown oracle"):
+        run_fuzz(seed=0, runs=1, oracles=["not-an-oracle"])

@@ -1,0 +1,171 @@
+"""Deterministic fault injection: the runner's retry/timeout/serial-fallback
+paths and the session trace-cache eviction recovery, proven on purpose."""
+
+from __future__ import annotations
+
+import pickle
+from concurrent.futures import TimeoutError as FutureTimeout
+
+import pytest
+
+from repro.core.session import ParallelSuiteRunner, SimSession
+from repro.testing import (
+    BREAK_POOL,
+    POISON,
+    TIMEOUT,
+    FaultInjector,
+    FaultPlan,
+    FaultyExecutor,
+    PoisonedCellError,
+    evict_traces,
+    exercise_suite_recovery,
+    verify_trace_refill,
+)
+
+MAX_INSTS = 1_500
+
+
+# ----------------------------------------------------------------------
+# FaultPlan / FaultyExecutor mechanics
+# ----------------------------------------------------------------------
+def test_fault_plan_is_deterministic_and_disjoint():
+    a = FaultPlan.from_seed(42, slots=8, timeouts=2, poisons=2, break_pool=True)
+    b = FaultPlan.from_seed(42, slots=8, timeouts=2, poisons=2, break_pool=True)
+    assert a == b
+    assert not (a.timeout_slots & a.poison_slots)
+    assert a.break_pool_slot not in a.timeout_slots | a.poison_slots
+    assert len(a.timeout_slots) == 2 and len(a.poison_slots) == 2
+
+
+def test_fault_plan_never_overcommits_slots():
+    plan = FaultPlan.from_seed(1, slots=2, timeouts=5, poisons=5, break_pool=True)
+    claimed = len(plan.timeout_slots) + len(plan.poison_slots) + (plan.break_pool_slot is not None)
+    assert claimed <= 2
+
+
+def test_faulty_executor_raises_planned_faults():
+    plan = FaultPlan(timeout_slots=frozenset({0}), poison_slots=frozenset({1}), break_pool_slot=2)
+    with FaultyExecutor(plan) as pool:
+        futures = [pool.submit(lambda x: x * 2, n) for n in range(4)]
+    with pytest.raises(FutureTimeout):
+        futures[0].result()
+    with pytest.raises(PoisonedCellError):
+        futures[1].result()
+    with pytest.raises(Exception) as excinfo:
+        futures[2].result()
+    assert "BrokenProcessPool" in type(excinfo.value).__name__
+    assert futures[3].result() == 6  # healthy slot computes inline
+
+
+# ----------------------------------------------------------------------
+# Satellite: _retry_cell and _run_serial under injected failures
+# ----------------------------------------------------------------------
+def _runner(**kwargs):
+    defaults = dict(
+        workloads=("li", "go"), configs=("no_predict", "lvp"),
+        jobs=2, max_instructions=MAX_INSTS,
+    )
+    defaults.update(kwargs)
+    return ParallelSuiteRunner(**defaults)
+
+
+def test_injected_timeout_is_retried_to_success():
+    runner = _runner()
+    injector = FaultInjector(FaultPlan(timeout_slots=frozenset({0})))
+    injector.install(runner)
+    report = runner.run()
+    assert injector.injected_faults()[TIMEOUT] == 1
+    assert not report.failures
+    assert len(report.results) == len(runner.cells)
+    assert report.used_processes
+
+
+def test_injected_poisoned_cell_is_retried_to_success():
+    """A worker returning garbage (unpicklable state) hits _retry_cell."""
+    runner = _runner()
+    injector = FaultInjector(FaultPlan(poison_slots=frozenset({1, 2})))
+    injector.install(runner)
+    report = runner.run()
+    assert injector.injected_faults()[POISON] == 2
+    assert not report.failures
+    assert len(report.results) == len(runner.cells)
+
+
+def test_pool_collapse_falls_back_to_serial():
+    runner = _runner()
+    injector = FaultInjector(FaultPlan(break_pool_slot=0))
+    injector.install(runner)
+    report = runner.run()
+    assert injector.injected_faults()[BREAK_POOL] == 1
+    assert not report.failures
+    assert len(report.results) == len(runner.cells)
+    assert not report.used_processes  # the pool died; serial finished the job
+
+
+def test_retry_cell_records_double_failure():
+    """If the serial retry also fails, the cell lands in report.failures
+    with both errors, and the rest of the suite still completes."""
+    runner = _runner()
+
+    def unpicklable_run(cell):
+        raise pickle.PicklingError(f"cannot pickle result for {cell.workload}")
+
+    injector = FaultInjector(FaultPlan(timeout_slots=frozenset({0})))
+    injector.install(runner)
+    runner._run_local = unpicklable_run  # retry path fails too
+    report = runner.run()
+    assert len(report.failures) == 1
+    (message,) = report.failures.values()
+    assert "first:" in message and "retry:" in message
+    assert "PicklingError" in message
+    # remaining cells were unaffected
+    assert len(report.results) == len(runner.cells) - 1
+
+
+def test_run_serial_collects_pickling_failures():
+    from repro.core.session import SuiteReport
+
+    runner = _runner()
+
+    def failing(cell):
+        raise pickle.PicklingError("unpicklable workload state")
+
+    runner._run_local = failing
+    report = SuiteReport()
+    runner._run_serial(runner.cells, report, note="stub")
+    assert len(report.failures) == len(runner.cells)
+    assert all("stub:" in msg and "PicklingError" in msg for msg in report.failures.values())
+    assert not report.results
+
+
+def test_exercise_suite_recovery_end_to_end():
+    plan = FaultPlan.from_seed(3, slots=4, timeouts=1, poisons=1)
+    report, faults = exercise_suite_recovery(
+        plan, workloads=("li", "go"), configs=("no_predict", "lvp"), jobs=2,
+        max_instructions=MAX_INSTS,
+    )
+    assert faults[TIMEOUT] == 1 and faults[POISON] == 1
+    assert not report.failures
+    assert len(report.results) == 4
+
+
+# ----------------------------------------------------------------------
+# SimSession cache eviction recovery
+# ----------------------------------------------------------------------
+def test_evict_traces_counts_and_empties():
+    session = SimSession()
+    session.ref_trace("li", 1.0, MAX_INSTS)
+    session.ref_trace("go", 1.0, MAX_INSTS)
+    assert evict_traces(session, keep=1) == 1
+    assert len(session._traces) == 1
+    assert evict_traces(session) == 1
+    assert not session._traces
+
+
+def test_trace_refill_after_eviction_is_identical():
+    session = SimSession()
+    assert verify_trace_refill(session, name="li", scale=1.0, max_instructions=MAX_INSTS)
+    assert verify_trace_refill(
+        session, name="go", scale=1.0, max_instructions=MAX_INSTS,
+        variant="srvp_dead", threshold=0.8,
+    )
