@@ -1,0 +1,19 @@
+"""Performance benchmark harness for the execution core (``repro bench``)."""
+
+from .harness import (
+    BENCH_SCHEMA,
+    BenchConfig,
+    compare_benchmarks,
+    find_latest_bench,
+    next_bench_path,
+    run_benchmarks,
+)
+
+__all__ = [
+    "BENCH_SCHEMA",
+    "BenchConfig",
+    "compare_benchmarks",
+    "find_latest_bench",
+    "next_bench_path",
+    "run_benchmarks",
+]

@@ -45,10 +45,17 @@ Commands
                  python -m repro fuzz --runs 50 --oracle trace-equivalence --json
                  python -m repro fuzz --runs 200 --out fuzz-repro/
 
+``bench``    Benchmark execution-core throughput (funcsim Minstr/s, pipeline
+             cycles/s, cold-vs-warm session latency), write ``BENCH_<n>.json``
+             and compare against the previous baseline::
+
+                 python -m repro bench --quick
+                 python -m repro bench --json --baseline BENCH_1.json
+
 ``list``     List available workloads and configuration names.
 
-Exit codes: 0 success, 1 lint/fuzz failures were found, 2 usage or internal
-error.
+Exit codes: 0 success, 1 lint/fuzz failures or bench regressions were found,
+2 usage or internal error.
 """
 
 from __future__ import annotations
@@ -374,6 +381,82 @@ def _cmd_fuzz(args: argparse.Namespace) -> int:
     return 0 if report.ok else 1
 
 
+def _cmd_bench(args: argparse.Namespace) -> int:
+    import json
+    import os
+
+    from .bench import BenchConfig, compare_benchmarks, find_latest_bench, next_bench_path, run_benchmarks
+    from .bench.harness import load_bench
+
+    if args.quick:
+        config = BenchConfig.quick_config()
+        if args.workload:
+            config.workloads = tuple(args.workload)
+    else:
+        config = BenchConfig(
+            workloads=tuple(args.workload) if args.workload else tuple(WORKLOAD_CLASSES),
+            max_instructions=args.max_insts,
+            repeats=args.repeats,
+        )
+    try:
+        config = config.validated()
+    except ValueError as exc:
+        print(f"bench: {exc}", file=sys.stderr)
+        return 2
+
+    def progress(message: str) -> None:
+        if not args.json:
+            print(f"  {message}", file=sys.stderr)
+
+    root = os.getcwd()
+    baseline_path = args.baseline or find_latest_bench(root)
+    payload = run_benchmarks(config, progress=progress)
+
+    comparisons = []
+    if baseline_path is not None:
+        try:
+            baseline = load_bench(baseline_path)
+        except (OSError, ValueError, json.JSONDecodeError) as exc:
+            print(f"bench: cannot load baseline {baseline_path}: {exc}", file=sys.stderr)
+            return 2
+        comparisons = compare_benchmarks(
+            payload, baseline, fail_threshold=args.fail_threshold, warn_threshold=args.warn_threshold
+        )
+        payload["baseline"] = {
+            "path": os.path.basename(baseline_path),
+            "comparisons": comparisons,
+        }
+
+    out_path = args.out if args.out else (None if args.no_write else next_bench_path(root))
+    if out_path is not None:
+        with open(out_path, "w") as handle:
+            json.dump(payload, handle, indent=2, sort_keys=True)
+            handle.write("\n")
+
+    failed = any(entry["status"] == "fail" for entry in comparisons)
+    if args.json:
+        print(json.dumps(payload, indent=2, sort_keys=True))
+    else:
+        summary = payload["summary"]
+        print(f"funcsim:  reference {summary['reference_minstr_s_geomean']:.2f} Minstr/s, "
+              f"fast {summary['fast_minstr_s_geomean']:.2f} Minstr/s "
+              f"({summary['fast_speedup_geomean']:.1f}x), "
+              f"trace {summary['trace_minstr_s_geomean']:.2f} Minstr/s "
+              f"({summary['trace_speedup_geomean']:.1f}x)")
+        print(f"pipeline: {summary['pipeline_cycles_per_s_geomean']:,.0f} cycles/s")
+        for name, result in payload["results"]["session"].items():
+            print(f"session:  {name} cold {result['cold_s'] * 1e3:.1f} ms, "
+                  f"warm {result['warm_s'] * 1e6:.0f} us")
+        for entry in comparisons:
+            if entry["status"] != "ok":
+                print(f"{entry['status'].upper()}: {entry['metric']} dropped "
+                      f"{entry['drop']:.1%} vs {os.path.basename(baseline_path)} "
+                      f"({entry['baseline']:.3g} -> {entry['current']:.3g})")
+        if out_path is not None:
+            print(f"wrote {os.path.basename(out_path)}")
+    return 1 if failed else 0
+
+
 def _cmd_list(args: argparse.Namespace) -> int:
     print("workloads:")
     for name, cls in WORKLOAD_CLASSES.items():
@@ -462,6 +545,31 @@ def build_parser() -> argparse.ArgumentParser:
     fuzz_parser.add_argument("--register-pressure", type=int, default=8, help="generator: working registers")
     fuzz_parser.add_argument("--branch-mix", type=float, default=0.4, help="generator: branchy-segment fraction")
     fuzz_parser.set_defaults(fn=_cmd_fuzz)
+
+    bench_parser = sub.add_parser("bench", help="benchmark execution-core throughput and track regressions")
+    bench_parser.add_argument(
+        "--workload", nargs="+", choices=sorted(WORKLOAD_CLASSES), help="workloads to time (default: all nine)"
+    )
+    bench_parser.add_argument(
+        "--quick", action="store_true", help="fast smoke mode: m88ksim + mgrid, 20k insts, 2 repeats"
+    )
+    bench_parser.add_argument("--max-insts", type=int, default=40_000, help="committed-instruction budget per run")
+    bench_parser.add_argument("--repeats", type=int, default=3, help="timed repetitions per section (best kept)")
+    bench_parser.add_argument("--json", action="store_true", help="emit the full payload as JSON on stdout")
+    bench_parser.add_argument("--out", metavar="FILE", help="write the payload to FILE instead of BENCH_<n>.json")
+    bench_parser.add_argument("--no-write", action="store_true", help="do not write a BENCH file")
+    bench_parser.add_argument(
+        "--baseline", metavar="FILE",
+        help="compare against this BENCH file (default: highest-numbered BENCH_<n>.json in cwd)",
+    )
+    bench_parser.add_argument(
+        "--fail-threshold", type=float, default=0.30,
+        help="fail (exit 1) when a summary throughput metric drops more than this fraction",
+    )
+    bench_parser.add_argument(
+        "--warn-threshold", type=float, default=0.10, help="warn when a metric drops more than this fraction"
+    )
+    bench_parser.set_defaults(fn=_cmd_bench)
 
     list_parser = sub.add_parser("list", help="list workloads and configurations")
     list_parser.set_defaults(fn=_cmd_list)

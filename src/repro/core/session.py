@@ -261,7 +261,9 @@ class SimSession:
         memory = self.workload(name, scale).memory(input_name)
         sim = FunctionalSimulator(program, memory=memory)
         with metrics.timer("sim.wall"):
-            trace = tuple(sim.iter_run(max_instructions=max_instructions))
+            # run(collect_trace=True) takes the eager decoded path (no
+            # generator suspension per record) when no observers are attached.
+            trace = tuple(sim.run(max_instructions=max_instructions, collect_trace=True).trace)
         self._traces[key] = trace
         while len(self._traces) > self.trace_capacity:
             self._traces.popitem(last=False)
@@ -271,6 +273,17 @@ class SimSession:
     # ------------------------------------------------------------------
     # Maintenance
     # ------------------------------------------------------------------
+    def cache_stats(self) -> Dict[str, int]:
+        """Resident entry counts per cache, for the bench/metrics surfaces."""
+        return {
+            "workloads": len(self._workloads),
+            "train_artifacts": len(self._train),
+            "profile_lists": len(self._lists),
+            "programs": len(self._programs),
+            "realloc_reports": len(self._realloc),
+            "traces": len(self._traces),
+        }
+
     def reset(self) -> None:
         """Drop every cached artifact (tests, long-lived processes)."""
         self._workloads.clear()

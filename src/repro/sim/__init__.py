@@ -1,11 +1,22 @@
 """Functional simulation substrate: memory, architectural state, interpreter, traces."""
 
-from .functional import FunctionalSimulator, RunResult, SimulationError, run_program, stream_program
+from .decoded import DecodedProgram, decode
+from .functional import (
+    DEFAULT_ENGINE,
+    FunctionalSimulator,
+    RunResult,
+    SimulationError,
+    run_program,
+    stream_program,
+)
 from .machine import ArchState
 from .memory import WORD_BYTES, Memory
 from .trace import TraceRecord
 
 __all__ = [
+    "DEFAULT_ENGINE",
+    "DecodedProgram",
+    "decode",
     "FunctionalSimulator",
     "RunResult",
     "SimulationError",

@@ -5,6 +5,20 @@ reuse analysis, and (b) the golden reference for co-simulating the pipeline:
 whatever prediction or recovery scheme the pipeline uses, its committed
 architectural state must match this interpreter's.
 
+Two execution engines share this class:
+
+* the **decoded** engine (default) — the pre-decoded threaded-code core from
+  :mod:`repro.sim.decoded`: each static instruction is compiled once into a
+  specialized handler closure, and :meth:`FunctionalSimulator.iter_run` /
+  :meth:`FunctionalSimulator.run` dispatch the handler table in a tight,
+  locals-hoisted loop.  ``run(collect_trace=False)`` with no observers takes
+  a further fast path that allocates no :class:`TraceRecord` at all.
+* the **reference** engine — :meth:`FunctionalSimulator.step`, the original
+  decode-every-time interpreter.  It is kept verbatim as the correctness
+  oracle: golden tests and the ``trace-equivalence`` fuzz oracle assert the
+  decoded engine reproduces its records, final state and memory bit for bit.
+  Select it globally with ``REPRO_SIM_ENGINE=reference``.
+
 Observers receive each :class:`TraceRecord` as it commits and may also inspect
 the live :class:`ArchState` (the record is delivered *after* the architectural
 write, with the prior destination value preserved in ``record.old_dest``).
@@ -12,17 +26,25 @@ write, with the prior destination value preserved in ``record.old_dest``).
 
 from __future__ import annotations
 
+import os
 from dataclasses import dataclass, field
 from typing import Callable, Iterator, List, Optional, Tuple
 
 from ..isa.instructions import Instruction
 from ..isa.opcodes import OpKind
 from ..isa.program import Program
+from .decoded import decode
 from .machine import ArchState
 from .memory import Memory
 from .trace import TraceRecord
 
 Observer = Callable[[TraceRecord, ArchState], None]
+
+#: Engine used when a simulator is built without an explicit choice.
+#: ``decoded`` (threaded-code core) or ``reference`` (the step() oracle).
+DEFAULT_ENGINE = os.environ.get("REPRO_SIM_ENGINE", "decoded")
+
+_ENGINES = ("decoded", "reference")
 
 
 def _metrics():
@@ -51,11 +73,20 @@ class RunResult:
 class FunctionalSimulator:
     """Interprets a :class:`Program` against an :class:`ArchState` + :class:`Memory`."""
 
-    def __init__(self, program: Program, memory: Optional[Memory] = None, state: Optional[ArchState] = None) -> None:
+    def __init__(
+        self,
+        program: Program,
+        memory: Optional[Memory] = None,
+        state: Optional[ArchState] = None,
+        engine: Optional[str] = None,
+    ) -> None:
         self.program = program
         self.memory = memory if memory is not None else Memory()
         self.state = state if state is not None else ArchState()
         self.state.pc = program.entry
+        self.engine = engine if engine is not None else DEFAULT_ENGINE
+        if self.engine not in _ENGINES:
+            raise ValueError(f"unknown engine {self.engine!r}; choose from {_ENGINES}")
         self._observers: List[Observer] = []
         #: trace-less :class:`RunResult` of the most recent (streamed) run.
         self.last_result: Optional[RunResult] = None
@@ -63,8 +94,17 @@ class FunctionalSimulator:
     def add_observer(self, observer: Observer) -> None:
         self._observers.append(observer)
 
+    # ------------------------------------------------------------------
+    # Reference engine (the oracle) — decodes every dynamic instruction
+    # ------------------------------------------------------------------
     def step(self, seq: int) -> Tuple[TraceRecord, bool]:
-        """Execute one instruction; returns (record, halted)."""
+        """Execute one instruction; returns (record, halted).
+
+        This is the *reference* interpreter, deliberately unoptimized: the
+        decoded engine must match it record for record (see
+        ``tests/test_sim_decoded.py``), so any change here must be mirrored
+        in :mod:`repro.sim.decoded`.
+        """
         state = self.state
         pc = state.pc
         if not 0 <= pc < len(self.program):
@@ -144,17 +184,8 @@ class FunctionalSimulator:
         )
         return record, halted
 
-    def iter_run(self, max_instructions: int = 1_000_000) -> Iterator[TraceRecord]:
-        """Stream the run: yield each committed :class:`TraceRecord` in turn.
-
-        Nothing is materialized — consumers that need only one pass (the
-        profilers, :func:`repro.uarch.stream.prepare_stream`) process records
-        as they commit, keeping resident memory flat.  Observers fire before
-        the record is yielded.  After the generator is exhausted (or closed),
-        :attr:`last_result` holds the trace-less :class:`RunResult`; the final
-        architectural state and memory remain live on ``self.state`` /
-        ``self.memory``.
-        """
+    def iter_run_reference(self, max_instructions: int = 1_000_000) -> Iterator[TraceRecord]:
+        """Stream a run through the reference :meth:`step` loop (the oracle)."""
         observers = self._observers
         halted = False
         executed = 0
@@ -175,18 +206,188 @@ class FunctionalSimulator:
             metrics.inc("sim.runs")
             metrics.inc("sim.instructions", executed)
 
+    def run_reference(self, max_instructions: int = 1_000_000, collect_trace: bool = False) -> RunResult:
+        """Eager wrapper over :meth:`iter_run_reference` (the oracle loop)."""
+        return self._drain(self.iter_run_reference(max_instructions=max_instructions), collect_trace)
+
+    # ------------------------------------------------------------------
+    # Decoded engine — pre-bound handler table, locals-hoisted dispatch
+    # ------------------------------------------------------------------
+    def _iter_run_decoded(self, max_instructions: int) -> Iterator[TraceRecord]:
+        state = self.state
+        decoded = decode(self.program)
+        handlers = decoded.bind_trace(state, self.memory)
+        halt_flags = decoded.halt_flags
+        observers = self._observers
+        name = self.program.name
+        n = len(handlers)
+        pc = state.pc
+        executed = 0
+        halted = False
+        try:
+            if observers:
+                for seq in range(max_instructions):
+                    if not 0 <= pc < n:
+                        raise SimulationError(f"pc {pc} out of range (program {name})")
+                    record = handlers[pc](seq)
+                    executed += 1
+                    for observer in observers:
+                        observer(record, state)
+                    yield record
+                    if halt_flags[pc]:
+                        halted = True
+                        break
+                    pc = record.next_pc
+            else:
+                for seq in range(max_instructions):
+                    if not 0 <= pc < n:
+                        raise SimulationError(f"pc {pc} out of range (program {name})")
+                    record = handlers[pc](seq)
+                    executed += 1
+                    yield record
+                    if halt_flags[pc]:
+                        halted = True
+                        break
+                    pc = record.next_pc
+        finally:
+            self.last_result = RunResult(
+                state=state, memory=self.memory, instructions=executed, halted=halted, trace=None
+            )
+            metrics = _metrics()
+            metrics.inc("sim.runs")
+            metrics.inc("sim.runs_traced")
+            metrics.inc("sim.instructions", executed)
+
+    def _run_fast(self, max_instructions: int) -> None:
+        """No-observer, no-record dispatch: architectural effects only.
+
+        Sets :attr:`last_result`; allocates nothing per dynamic instruction
+        (no :class:`TraceRecord`, no tuples), which is what makes trace-less
+        consumers cheap.
+        """
+        state = self.state
+        decoded = decode(self.program)
+        handlers = decoded.bind_fast(state, self.memory)
+        name = self.program.name
+        n = len(handlers)
+        pc = state.pc
+        executed = 0
+        halted = False
+        try:
+            try:
+                for _ in range(max_instructions):
+                    if not 0 <= pc < n:
+                        raise SimulationError(f"pc {pc} out of range (program {name})")
+                    nxt = handlers[pc]()
+                    executed += 1
+                    if nxt < 0:  # HALT sentinel
+                        halted = True
+                        break
+                    pc = nxt
+            finally:
+                # Keep state.pc exactly where the reference engine leaves it,
+                # including on SimulationError / unaligned-access faults.
+                state.pc = pc
+        finally:
+            self.last_result = RunResult(
+                state=state, memory=self.memory, instructions=executed, halted=halted, trace=None
+            )
+            metrics = _metrics()
+            metrics.inc("sim.runs")
+            metrics.inc("sim.runs_fast")
+            metrics.inc("sim.instructions", executed)
+
+    def _run_traced(self, max_instructions: int) -> List[TraceRecord]:
+        """Eager record collection without generator suspension overhead.
+
+        Identical commit semantics to :meth:`_iter_run_decoded`, but appends
+        straight into a list — ``run(collect_trace=True)`` with no observers
+        lands here.
+        """
+        state = self.state
+        decoded = decode(self.program)
+        handlers = decoded.bind_trace(state, self.memory)
+        halt_flags = decoded.halt_flags
+        name = self.program.name
+        n = len(handlers)
+        pc = state.pc
+        records: List[TraceRecord] = []
+        append = records.append
+        executed = 0
+        halted = False
+        try:
+            for seq in range(max_instructions):
+                if not 0 <= pc < n:
+                    raise SimulationError(f"pc {pc} out of range (program {name})")
+                record = handlers[pc](seq)
+                executed += 1
+                append(record)
+                if halt_flags[pc]:
+                    halted = True
+                    break
+                pc = record.next_pc
+        finally:
+            self.last_result = RunResult(
+                state=state, memory=self.memory, instructions=executed, halted=halted, trace=None
+            )
+            metrics = _metrics()
+            metrics.inc("sim.runs")
+            metrics.inc("sim.runs_traced")
+            metrics.inc("sim.instructions", executed)
+        return records
+
+    # ------------------------------------------------------------------
+    # Public run surface
+    # ------------------------------------------------------------------
+    def iter_run(self, max_instructions: int = 1_000_000) -> Iterator[TraceRecord]:
+        """Stream the run: yield each committed :class:`TraceRecord` in turn.
+
+        Nothing is materialized — consumers that need only one pass (the
+        profilers, :func:`repro.uarch.stream.prepare_stream`) process records
+        as they commit, keeping resident memory flat.  Observers fire before
+        the record is yielded.  After the generator is exhausted (or closed),
+        :attr:`last_result` holds the trace-less :class:`RunResult`; the final
+        architectural state and memory remain live on ``self.state`` /
+        ``self.memory``.
+
+        Dispatches the decoded handler table unless the simulator was built
+        with ``engine="reference"``.
+        """
+        if self.engine == "reference":
+            return self.iter_run_reference(max_instructions=max_instructions)
+        return self._iter_run_decoded(max_instructions)
+
     def run(self, max_instructions: int = 1_000_000, collect_trace: bool = False) -> RunResult:
         """Run until ``halt`` or ``max_instructions`` committed instructions.
 
-        Eager wrapper over :meth:`iter_run`; ``collect_trace=True``
-        materializes the full record list on the result.
+        ``collect_trace=True`` materializes the full record list on the
+        result.  With no trace requested and no observers attached, the
+        decoded engine skips record construction entirely (the no-allocation
+        fast path).
         """
+        if not self._observers and self.engine != "reference":
+            if collect_trace:
+                trace = self._run_traced(max_instructions)
+            else:
+                self._run_fast(max_instructions)
+                trace = None
+            result = self.last_result
+            return RunResult(
+                state=result.state,
+                memory=result.memory,
+                instructions=result.instructions,
+                halted=result.halted,
+                trace=trace,
+            )
+        return self._drain(self.iter_run(max_instructions=max_instructions), collect_trace)
+
+    def _drain(self, records: Iterator[TraceRecord], collect_trace: bool) -> RunResult:
         trace: Optional[List[TraceRecord]] = [] if collect_trace else None
         if trace is None:
-            for _ in self.iter_run(max_instructions=max_instructions):
+            for _ in records:
                 pass
         else:
-            trace.extend(self.iter_run(max_instructions=max_instructions))
+            trace.extend(records)
         result = self.last_result
         return RunResult(
             state=result.state,
@@ -203,9 +404,15 @@ def run_program(
     max_instructions: int = 1_000_000,
     collect_trace: bool = False,
     observers: Optional[List[Observer]] = None,
+    state: Optional[ArchState] = None,
 ) -> RunResult:
-    """Convenience wrapper: build a simulator, attach observers, run."""
-    sim = FunctionalSimulator(program, memory=memory)
+    """Convenience wrapper: build a simulator, attach observers, run.
+
+    A caller-supplied ``state`` is used as the live architectural state
+    (its ``pc`` is reset to the program entry), exactly as when passing it
+    to :class:`FunctionalSimulator` directly.
+    """
+    sim = FunctionalSimulator(program, memory=memory, state=state)
     for observer in observers or []:
         sim.add_observer(observer)
     return sim.run(max_instructions=max_instructions, collect_trace=collect_trace)
@@ -216,13 +423,14 @@ def stream_program(
     memory: Optional[Memory] = None,
     max_instructions: int = 1_000_000,
     observers: Optional[List[Observer]] = None,
+    state: Optional[ArchState] = None,
 ) -> Tuple[FunctionalSimulator, Iterator[TraceRecord]]:
     """Streaming counterpart of :func:`run_program`.
 
     Returns ``(simulator, record_iterator)``; after the iterator is drained
     the simulator's ``last_result`` / ``state`` / ``memory`` hold the outcome.
     """
-    sim = FunctionalSimulator(program, memory=memory)
+    sim = FunctionalSimulator(program, memory=memory, state=state)
     for observer in observers or []:
         sim.add_observer(observer)
     return sim, sim.iter_run(max_instructions=max_instructions)

@@ -34,6 +34,22 @@ class Memory:
     def store(self, addr: int, value: int) -> None:
         self._words[self._word_index(addr)] = value & MASK64
 
+    # ------------------------------------------------------------------
+    # Aligned word-index fast path
+    # ------------------------------------------------------------------
+    # The decoded interpreter (repro.sim.decoded) masks the effective address
+    # and checks alignment itself, so its handlers address memory directly by
+    # word index and skip the per-access mask/modulo of the checked API above.
+    # Callers of these two methods own both invariants: ``index`` is
+    # ``masked_addr >> 3`` for an 8-byte-aligned address, and stored values
+    # are already confined to 64 bits.
+
+    def load_word_index(self, index: int) -> int:
+        return self._words.get(index, 0)
+
+    def store_word_index(self, index: int, value: int) -> None:
+        self._words[index] = value
+
     def write_words(self, addr: int, values: Iterable[int]) -> None:
         """Bulk-initialise consecutive words starting at ``addr``."""
         index = self._word_index(addr)

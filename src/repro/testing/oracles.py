@@ -6,7 +6,9 @@ Four oracle families, each a callable ``oracle(case)`` registered in
 ``trace-equivalence``
     The eager (``run(collect_trace=True)``) and streaming (``iter_run``)
     executors must produce identical record sequences, final architectural
-    state, memory and halt status.
+    state, memory and halt status — and both must match the retained
+    reference interpreter (``engine="reference"``, the pre-decode ``step()``
+    loop) bit for bit, pinning the decoded execution core to its oracle.
 
 ``pass-preservation``
     Every verifier-guarded compiler pass (marking, insertion, stride,
@@ -28,8 +30,8 @@ Four oracle families, each a callable ``oracle(case)`` registered in
     least as much as selective reissue; refetch squashes actually refetch;
     and no predictor means no recovery activity anywhere.
 
-Helper entry points (``_eager_run`` / ``_streaming_run`` / ``_simulate`` /
-``_train_predictor``) are deliberate seams: the mutation self-tests
+Helper entry points (``_eager_run`` / ``_streaming_run`` / ``_reference_run``
+/ ``_simulate`` / ``_train_predictor``) are deliberate seams: the mutation self-tests
 monkeypatch them to seed defects and prove each family actually detects
 something.
 """
@@ -51,7 +53,7 @@ from ..isa.program import Program
 from ..profiling.critpath import CriticalPathBuilder
 from ..profiling.deadness import reg_id
 from ..profiling.reuse import ReuseProfile
-from ..sim.functional import RunResult, SimulationError, run_program, stream_program
+from ..sim.functional import FunctionalSimulator, RunResult, SimulationError, run_program, stream_program
 from ..sim.trace import TraceRecord
 from ..uarch.config import table1_config
 from ..uarch.recovery import RecoveryScheme
@@ -106,6 +108,11 @@ def _streaming_run(program: Program, memory):
     return sim, trace
 
 
+def _reference_run(program: Program, memory) -> RunResult:
+    sim = FunctionalSimulator(program, memory=memory, engine="reference")
+    return sim.run(max_instructions=MAX_INSTRUCTIONS, collect_trace=True)
+
+
 def _simulate(trace: Sequence[TraceRecord], predictor: ValuePredictor, recovery: RecoveryScheme):
     return simulate(trace, predictor, table1_config(), recovery)
 
@@ -145,6 +152,30 @@ def check_trace_equivalence(case: GeneratedCase) -> None:
     last = sim.last_result
     _require(last is not None and last.halted == eager.halted, name, "halt status diverges")
     _require(last.instructions == eager.instructions, name, "instruction counts diverge")
+
+    # Third leg: the decoded execution core against the retained reference
+    # interpreter — identical records, state, memory and commit counts.
+    reference = _reference_run(case.program, case.memory())
+    _require(
+        len(eager.trace) == len(reference.trace),
+        name,
+        f"decoded committed {len(eager.trace)} records, reference {len(reference.trace)}",
+    )
+    for expected, got in zip(reference.trace, eager.trace):
+        _require(
+            expected == got,
+            name,
+            f"decoded record diverges from reference at seq {expected.seq}: {expected} != {got}",
+        )
+    _require(
+        eager.state.state_equal(reference.state), name, "decoded final state diverges from reference"
+    )
+    _require(eager.memory == reference.memory, name, "decoded final memory diverges from reference")
+    _require(
+        (reference.halted, reference.instructions) == (eager.halted, eager.instructions),
+        name,
+        "decoded halt/commit-count diverges from reference",
+    )
 
 
 # ----------------------------------------------------------------------

@@ -77,58 +77,73 @@ def prepare_stream(trace: Iterable[TraceRecord], predictor: ValuePredictor) -> L
     ``trace`` may be any iterable of records — a cached tuple or a live
     :meth:`~repro.sim.functional.FunctionalSimulator.iter_run` generator; it
     is consumed in a single forward pass.
+
+    Everything that is a pure function of the *static* instruction — FU/IQ
+    classification, operand register ids, the destination id, the opcode
+    latency, the predictor's prediction source — is computed once per pc and
+    memoized, so the per-record loop touches only the dynamic mirrors.
     """
     entries: List[StreamEntry] = []
+    append = entries.append
     last_writer: Dict[int, int] = {}
     last_store: Dict[int, int] = {}
+    lw_get = last_writer.get
     reg_values: List[int] = [0] * 64
     last_result_of_pc: Dict[int, Tuple[int, int]] = {}  # pc -> (seq, result)
-    source_cache: Dict[int, Optional[PredictionSource]] = {}
+    #: pc -> (fu, iq, latency, read_ids, is_load, is_store, dst, dst_id,
+    #:        source, source_reg_id) — the static facts of one instruction.
+    static_cache: Dict[int, Tuple] = {}
 
     for record in trace:
         inst = record.inst
         seq = record.seq
-        fu, iq = _fu_of(record)
-
-        deps: List[Optional[int]] = []
-        for src in inst.reads:
-            deps.append(None if src.is_zero else last_writer.get(reg_id(src)))
-        store_dep = last_store.get(record.addr) if record.is_load and record.addr is not None else None
-
-        dst = inst.writes
-        dst_old_writer = last_writer.get(reg_id(dst)) if dst is not None else None
-
-        if inst.pc in source_cache:
-            source = source_cache[inst.pc]
-        else:
+        pc = record.pc
+        static = static_cache.get(pc)
+        if static is None:
+            fu, iq = _fu_of(record)
+            read_ids = tuple(None if src.is_zero else reg_id(src) for src in inst.reads)
+            dst = inst.writes
+            dst_id = reg_id(dst) if dst is not None else None
             source = predictor.source(inst)
-            source_cache[inst.pc] = source
+            source_reg_id = (
+                reg_id(source.reg) if source is not None and source.kind is SourceKind.REG else None
+            )
+            static = static_cache[pc] = (
+                fu, iq, inst.op.latency, read_ids,
+                inst.op.is_load, inst.op.is_store, dst, dst_id, source, source_reg_id,
+            )
+        fu, iq, latency, read_ids, is_load, is_store, dst, dst_id, source, source_reg_id = static
 
+        deps = tuple(lw_get(rid) if rid is not None else None for rid in read_ids)
+        addr = record.addr
+        store_dep = last_store.get(addr) if is_load and addr is not None else None
+        dst_old_writer = lw_get(dst_id) if dst_id is not None else None
+
+        result = record.result
         value_dep: Optional[int] = None
         prev_instance: Optional[int] = None
         pred_correct = False
-        if source is not None and record.result is not None:
+        if source is not None and result is not None:
             if source.kind is SourceKind.DST:
                 value_dep = dst_old_writer
-                pred_correct = record.result == record.old_dest
+                pred_correct = result == record.old_dest
             elif source.kind is SourceKind.REG:
-                rid = reg_id(source.reg)
-                value_dep = last_writer.get(rid)
-                pred_correct = record.result == reg_values[rid]
+                value_dep = lw_get(source_reg_id)
+                pred_correct = result == reg_values[source_reg_id]
             else:  # STORED
-                prev = last_result_of_pc.get(inst.pc)
+                prev = last_result_of_pc.get(pc)
                 if prev is not None:
                     prev_instance = prev[0]
-                    pred_correct = record.result == prev[1]
+                    pred_correct = result == prev[1]
 
-        entries.append(
+        append(
             StreamEntry(
                 seq=seq,
                 record=record,
                 fu=fu,
                 iq=iq,
-                base_latency=inst.op.latency,
-                src_deps=tuple(deps),
+                base_latency=latency,
+                src_deps=deps,
                 store_dep=store_dep,
                 dst_old_writer=dst_old_writer,
                 cand_source=source,
@@ -139,12 +154,11 @@ def prepare_stream(trace: Iterable[TraceRecord], predictor: ValuePredictor) -> L
         )
 
         # Advance the mirrors.
-        if dst is not None and record.result is not None:
-            rid = reg_id(dst)
-            last_writer[rid] = seq
-            reg_values[rid] = record.result
-        if record.result is not None:
-            last_result_of_pc[inst.pc] = (seq, record.result)
-        if inst.is_store and record.addr is not None:
-            last_store[record.addr] = seq
+        if result is not None:
+            if dst_id is not None:
+                last_writer[dst_id] = seq
+                reg_values[dst_id] = result
+            last_result_of_pc[pc] = (seq, result)
+        if is_store and addr is not None:
+            last_store[addr] = seq
     return entries

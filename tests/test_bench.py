@@ -1,0 +1,159 @@
+"""Tests for the ``repro bench`` harness: numbering, comparison, CLI codes."""
+
+from __future__ import annotations
+
+import json
+import os
+
+import pytest
+
+from repro.bench import (
+    BENCH_SCHEMA,
+    BenchConfig,
+    compare_benchmarks,
+    find_latest_bench,
+    next_bench_path,
+    run_benchmarks,
+)
+from repro.bench.harness import load_bench
+from repro.cli import main
+
+
+# ----------------------------------------------------------------------
+# Baseline file numbering
+# ----------------------------------------------------------------------
+def test_bench_numbering(tmp_path):
+    root = str(tmp_path)
+    assert find_latest_bench(root) is None
+    assert os.path.basename(next_bench_path(root)) == "BENCH_1.json"
+    (tmp_path / "BENCH_1.json").write_text("{}")
+    (tmp_path / "BENCH_3.json").write_text("{}")
+    (tmp_path / "BENCH_notanumber.json").write_text("{}")
+    assert os.path.basename(find_latest_bench(root)) == "BENCH_3.json"
+    assert os.path.basename(next_bench_path(root)) == "BENCH_4.json"
+
+
+def test_load_bench_rejects_wrong_schema(tmp_path):
+    path = tmp_path / "BENCH_1.json"
+    path.write_text(json.dumps({"schema": "something-else"}))
+    with pytest.raises(ValueError, match="not a repro-bench/1 file"):
+        load_bench(str(path))
+
+
+# ----------------------------------------------------------------------
+# Regression comparison
+# ----------------------------------------------------------------------
+def _payload(fast, trace, pipeline):
+    return {
+        "summary": {
+            "fast_minstr_s_geomean": fast,
+            "trace_minstr_s_geomean": trace,
+            "pipeline_cycles_per_s_geomean": pipeline,
+        }
+    }
+
+
+def test_compare_statuses():
+    baseline = _payload(10.0, 1.0, 100.0)
+    current = _payload(11.0, 0.85, 60.0)  # faster / -15% (warn) / -40% (fail)
+    report = {e["metric"]: e for e in compare_benchmarks(current, baseline)}
+    assert report["fast_minstr_s_geomean"]["status"] == "ok"
+    assert report["fast_minstr_s_geomean"]["drop"] < 0
+    assert report["trace_minstr_s_geomean"]["status"] == "warn"
+    assert report["pipeline_cycles_per_s_geomean"]["status"] == "fail"
+
+
+def test_compare_skips_missing_metrics():
+    assert compare_benchmarks({"summary": {}}, _payload(1.0, 1.0, 1.0)) == []
+    assert compare_benchmarks(_payload(1.0, 1.0, 1.0), {}) == []
+
+
+def test_compare_custom_thresholds():
+    baseline = _payload(10.0, 10.0, 10.0)
+    current = _payload(8.0, 8.0, 8.0)  # uniform -20%
+    default = compare_benchmarks(current, baseline)
+    assert {e["status"] for e in default} == {"warn"}
+    strict = compare_benchmarks(current, baseline, fail_threshold=0.15)
+    assert {e["status"] for e in strict} == {"fail"}
+
+
+# ----------------------------------------------------------------------
+# Config validation
+# ----------------------------------------------------------------------
+def test_config_validation():
+    with pytest.raises(ValueError, match="unknown workload"):
+        BenchConfig(workloads=("nope",)).validated()
+    with pytest.raises(ValueError, match="max_instructions"):
+        BenchConfig(max_instructions=0).validated()
+    with pytest.raises(ValueError, match="repeats"):
+        BenchConfig(repeats=0).validated()
+    quick = BenchConfig.quick_config()
+    assert quick.quick and quick.validated() is not None
+
+
+# ----------------------------------------------------------------------
+# A tiny real campaign + the CLI surface
+# ----------------------------------------------------------------------
+def test_run_benchmarks_payload_shape():
+    config = BenchConfig(workloads=("li",), max_instructions=300, repeats=1)
+    payload = run_benchmarks(config)
+    assert payload["schema"] == BENCH_SCHEMA
+    funcsim = payload["results"]["funcsim"]["li"]
+    assert funcsim["instructions"] > 0
+    assert funcsim["fast_minstr_s"] > 0
+    assert payload["results"]["pipeline"]["li"]["cycles"] > 0
+    session = payload["results"]["session"]["li"]
+    assert session["warm_s"] <= session["cold_s"]
+    assert payload["summary"]["fast_speedup_geomean"] > 0
+
+
+def _bench_cli(*extra):
+    return main(
+        ["bench", "--workload", "li", "--max-insts", "300", "--repeats", "1", "--no-write", "--json"]
+        + list(extra)
+    )
+
+
+def test_cli_bench_clean_exit(tmp_path, monkeypatch, capsys):
+    # chdir away from the repo root so a committed BENCH_<n>.json baseline
+    # cannot be auto-discovered (timing noise must not fail this test).
+    monkeypatch.chdir(tmp_path)
+    assert _bench_cli() == 0
+    payload = json.loads(capsys.readouterr().out)
+    assert payload["schema"] == BENCH_SCHEMA
+
+
+def test_cli_bench_regression_exit(tmp_path, capsys):
+    baseline = {
+        "schema": BENCH_SCHEMA,
+        "summary": {
+            "fast_minstr_s_geomean": 1e9,
+            "trace_minstr_s_geomean": 1e9,
+            "pipeline_cycles_per_s_geomean": 1e15,
+        },
+    }
+    path = tmp_path / "BENCH_1.json"
+    path.write_text(json.dumps(baseline))
+    assert _bench_cli("--baseline", str(path)) == 1
+    payload = json.loads(capsys.readouterr().out)
+    statuses = {e["status"] for e in payload["baseline"]["comparisons"]}
+    assert "fail" in statuses
+
+
+def test_cli_bench_bad_baseline_exit(tmp_path, capsys):
+    path = tmp_path / "BENCH_1.json"
+    path.write_text(json.dumps({"schema": "bogus"}))
+    assert _bench_cli("--baseline", str(path)) == 2
+    capsys.readouterr()
+
+
+def test_cli_bench_writes_out_file(tmp_path, monkeypatch, capsys):
+    monkeypatch.chdir(tmp_path)
+    out = tmp_path / "bench.json"
+    code = main(
+        ["bench", "--workload", "li", "--max-insts", "300", "--repeats", "1",
+         "--out", str(out), "--json"]
+    )
+    assert code == 0
+    capsys.readouterr()
+    assert load_bench(str(out))["config"]["workloads"] == ["li"]

@@ -73,3 +73,12 @@ def test_memory_behaves_like_dict(model):
         m.store(addr, value)
     for addr, value in model.items():
         assert m.load(addr) == value
+
+
+def test_word_index_fast_path_matches_checked_api():
+    m = Memory()
+    m.store(0x100, 5)
+    assert m.load_word_index(0x100 >> 3) == 5
+    m.store_word_index(2, 7)
+    assert m.load(0x10) == 7
+    assert m.load_word_index(999) == 0  # untouched words read as zero
