@@ -5,8 +5,10 @@ from .harness import (
     BenchConfig,
     compare_benchmarks,
     find_latest_bench,
+    load_bench,
     next_bench_path,
     run_benchmarks,
+    write_bench,
 )
 
 __all__ = [
@@ -14,6 +16,8 @@ __all__ = [
     "BenchConfig",
     "compare_benchmarks",
     "find_latest_bench",
+    "load_bench",
     "next_bench_path",
     "run_benchmarks",
+    "write_bench",
 ]

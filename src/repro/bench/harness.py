@@ -278,3 +278,14 @@ def load_bench(path: str) -> Dict[str, object]:
     if payload.get("schema") != BENCH_SCHEMA:
         raise ValueError(f"{path}: not a {BENCH_SCHEMA} file (schema={payload.get('schema')!r})")
     return payload
+
+
+def write_bench(path: str, payload: Dict[str, object]) -> None:
+    """Persist a BENCH payload atomically (temp + rename + fsync).
+
+    A crashed or SIGKILLed bench run therefore never leaves a truncated
+    ``BENCH_<n>.json`` for the *next* run to trip over as its baseline.
+    """
+    from ..runtime.atomic import atomic_write_json
+
+    atomic_write_json(path, payload)

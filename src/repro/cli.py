@@ -8,8 +8,18 @@ Commands
                  python -m repro run --workload m88ksim \\
                      --config no_predict lvp_all drvp_all_dead
 
+             With ``--out-dir`` the run becomes a crash-safe *campaign*:
+             every cell is journaled durably as it completes, and an
+             interrupted (Ctrl-C, SIGTERM, SIGKILL) run is finished later
+             with ``--resume``, re-executing only the cells that never
+             committed::
+
+                 python -m repro run --workload m88ksim --out-dir runs --run-id demo
+                 python -m repro run --resume demo --out-dir runs
+
 ``suite``    Run configurations across all nine workloads (a figure row),
-             optionally fanned out over worker processes::
+             optionally fanned out over worker processes; ``--out-dir`` /
+             ``--run-id`` journal the campaign the same way::
 
                  python -m repro suite --config no_predict lvp_all drvp_all_dead_lv --jobs 4
 
@@ -55,7 +65,9 @@ Commands
 ``list``     List available workloads and configuration names.
 
 Exit codes: 0 success, 1 lint/fuzz failures or bench regressions were found,
-2 usage or internal error.
+2 usage/internal error or a *partial* campaign (some cells failed; the
+journal records which, and ``--resume`` re-executes exactly those), 130 when
+a campaign was interrupted (resume hint printed).
 """
 
 from __future__ import annotations
@@ -99,7 +111,94 @@ def _runner(args: argparse.Namespace, workload: str) -> ExperimentRunner:
     return ExperimentRunner(workload, machine=machine, max_instructions=args.max_insts, threshold=args.threshold)
 
 
+# ----------------------------------------------------------------------
+# Journaled campaigns (run/suite --out-dir, run --resume)
+# ----------------------------------------------------------------------
+def _campaign_table(report) -> ResultTable:
+    """A ResultTable with every campaign cell, completed or failed."""
+    table = ResultTable()
+    for result in report.results:
+        table.add(result)
+    for cell_id, status in report.statuses.items():
+        if status != "ok":
+            workload, config, _recovery = cell_id.split("/", 2)
+            table.mark_failed(workload, config, status=status, message=report.failures.get(cell_id, ""))
+    return table
+
+
+def _render_campaign(report, args: argparse.Namespace) -> int:
+    counts = report.counts()
+    total = sum(counts.values())
+    verb = "resumed" if report.resumed else "run"
+    restored = f", {report.restored} restored" if report.restored else ""
+    print(
+        f"  campaign {report.run_id} ({verb}): {counts.get('ok', 0)}/{total} cells ok"
+        f"{restored}, journal {report.journal_path}"
+    )
+    table = _campaign_table(report)
+    print()
+    print(table.render_ipc("campaign IPC"))
+    if "no_predict" in report.spec.configs:
+        print(table.render_speedup("speedups"))
+    print(table.render_coverage("coverage/accuracy"))
+    footer = table.render_failures()
+    if footer:
+        print(footer)
+    _maybe_profile(args)
+    if not report.complete:
+        print(
+            f"  partial: resume with `repro run --resume {report.run_id} "
+            f"--out-dir {getattr(args, 'out_dir', 'runs')}`",
+            file=sys.stderr,
+        )
+        return 2
+    return 0
+
+
+def _run_campaign_cli(args: argparse.Namespace, workloads) -> int:
+    from .runtime import CampaignSpec, JournalError, resume_campaign, run_campaign
+
+    jobs = getattr(args, "jobs", 1)
+    try:
+        if getattr(args, "resume", None):
+            report = resume_campaign(args.out_dir, args.resume, jobs=jobs)
+        else:
+            spec = CampaignSpec(
+                workloads=tuple(workloads),
+                configs=tuple(args.config),
+                recoveries=(RecoveryScheme.parse(args.recovery).value,),
+                machine="aggressive" if args.wide else "table1",
+                max_instructions=args.max_insts,
+                threshold=args.threshold,
+                jobs=jobs,
+            )
+            report = run_campaign(spec, args.out_dir, run_id=args.run_id)
+    except JournalError as exc:
+        print(f"repro: {exc}", file=sys.stderr)
+        return 2
+    except KeyboardInterrupt:
+        run_id = getattr(args, "resume", None) or args.run_id or "<run-id>"
+        print(
+            f"\nrepro: interrupted; committed cells are journaled — resume with "
+            f"`repro run --resume {run_id} --out-dir {args.out_dir}`",
+            file=sys.stderr,
+        )
+        return 130
+    return _render_campaign(report, args)
+
+
 def _cmd_run(args: argparse.Namespace) -> int:
+    if args.resume or args.out_dir:
+        if args.out_dir is None:
+            print("repro: --resume requires --out-dir (where the journal lives)", file=sys.stderr)
+            return 2
+        if not args.resume and not args.workload:
+            print("repro: run needs --workload (or --resume RUN_ID)", file=sys.stderr)
+            return 2
+        return _run_campaign_cli(args, (args.workload,) if args.workload else ())
+    if not args.workload:
+        print("repro: run needs --workload", file=sys.stderr)
+        return 2
     runner = _runner(args, args.workload)
     table = ResultTable()
     scheme = RecoveryScheme.parse(args.recovery)
@@ -114,6 +213,11 @@ def _cmd_run(args: argparse.Namespace) -> int:
 
 
 def _cmd_suite(args: argparse.Namespace) -> int:
+    if args.resume or args.out_dir:
+        if args.out_dir is None:
+            print("repro: --resume requires --out-dir (where the journal lives)", file=sys.stderr)
+            return 2
+        return _run_campaign_cli(args, tuple(WORKLOAD_CLASSES))
     table = ResultTable()
     scheme = RecoveryScheme.parse(args.recovery)
     machine = aggressive_config() if args.wide else table1_config()
@@ -346,6 +450,33 @@ def _cmd_fuzz(args: argparse.Namespace) -> int:
         if not args.json and done % 50 == 0:
             print(f"  {done}/{total} cases", file=sys.stderr)
 
+    journal = None
+    if args.out_dir:
+        from .runtime import JournalError, RunJournal, journal_path
+
+        os.makedirs(args.out_dir, exist_ok=True)
+        run_id = args.run_id or f"fuzz-seed{args.seed}"
+        fuzz_config = {
+            "kind": "fuzz",
+            "seed": args.seed,
+            "runs": args.runs,
+            "oracles": sorted(args.oracle) if args.oracle else [],
+            "shrink": not args.no_shrink,
+        }
+        path = journal_path(args.out_dir, run_id)
+        try:
+            if os.path.exists(path):
+                journal = RunJournal.open(path)
+                journal.verify_config(fuzz_config)
+            else:
+                journal = RunJournal.create(
+                    args.out_dir, run_id, fuzz_config,
+                    [f"seed{args.seed + i}" for i in range(args.runs)],
+                )
+        except JournalError as exc:
+            print(f"repro: {exc}", file=sys.stderr)
+            return 2
+
     report = run_fuzz(
         seed=args.seed,
         runs=args.runs,
@@ -353,7 +484,13 @@ def _cmd_fuzz(args: argparse.Namespace) -> int:
         shrink=not args.no_shrink,
         config=config,
         progress=progress,
+        journal=journal,
     )
+    if journal is not None:
+        journal.close()
+        from .runtime import atomic_write_json
+
+        atomic_write_json(os.path.join(args.out_dir, "fuzz-report.json"), report.to_dict())
 
     if args.out and report.failures:
         os.makedirs(args.out, exist_ok=True)
@@ -385,8 +522,15 @@ def _cmd_bench(args: argparse.Namespace) -> int:
     import json
     import os
 
-    from .bench import BenchConfig, compare_benchmarks, find_latest_bench, next_bench_path, run_benchmarks
-    from .bench.harness import load_bench
+    from .bench import (
+        BenchConfig,
+        compare_benchmarks,
+        find_latest_bench,
+        load_bench,
+        next_bench_path,
+        run_benchmarks,
+        write_bench,
+    )
 
     if args.quick:
         config = BenchConfig.quick_config()
@@ -408,7 +552,10 @@ def _cmd_bench(args: argparse.Namespace) -> int:
         if not args.json:
             print(f"  {message}", file=sys.stderr)
 
-    root = os.getcwd()
+    root = args.out_dir if args.out_dir else os.getcwd()
+    if args.out_dir:
+        os.makedirs(args.out_dir, exist_ok=True)
+    auto_baseline = args.baseline is None
     baseline_path = args.baseline or find_latest_bench(root)
     payload = run_benchmarks(config, progress=progress)
 
@@ -417,21 +564,27 @@ def _cmd_bench(args: argparse.Namespace) -> int:
         try:
             baseline = load_bench(baseline_path)
         except (OSError, ValueError, json.JSONDecodeError) as exc:
-            print(f"bench: cannot load baseline {baseline_path}: {exc}", file=sys.stderr)
-            return 2
-        comparisons = compare_benchmarks(
-            payload, baseline, fail_threshold=args.fail_threshold, warn_threshold=args.warn_threshold
-        )
-        payload["baseline"] = {
-            "path": os.path.basename(baseline_path),
-            "comparisons": comparisons,
-        }
+            if not auto_baseline:
+                # An explicitly named baseline must exist and parse.
+                print(f"bench: cannot load baseline {baseline_path}: {exc}", file=sys.stderr)
+                return 2
+            # A missing/corrupt *auto-discovered* baseline (e.g. a previous
+            # run was SIGKILLed mid-write before atomic writes existed) must
+            # not block new measurements: warn and continue uncompared.
+            print(f"bench: ignoring unreadable baseline {baseline_path}: {exc}", file=sys.stderr)
+            baseline = None
+        if baseline is not None:
+            comparisons = compare_benchmarks(
+                payload, baseline, fail_threshold=args.fail_threshold, warn_threshold=args.warn_threshold
+            )
+            payload["baseline"] = {
+                "path": os.path.basename(baseline_path),
+                "comparisons": comparisons,
+            }
 
     out_path = args.out if args.out else (None if args.no_write else next_bench_path(root))
     if out_path is not None:
-        with open(out_path, "w") as handle:
-            json.dump(payload, handle, indent=2, sort_keys=True)
-            handle.write("\n")
+        write_bench(out_path, payload)
 
     failed = any(entry["status"] == "fail" for entry in comparisons)
     if args.json:
@@ -474,9 +627,24 @@ def build_parser() -> argparse.ArgumentParser:
     )
     sub = parser.add_subparsers(dest="command", required=True)
 
+    def _add_campaign(sub_parser: argparse.ArgumentParser) -> None:
+        sub_parser.add_argument(
+            "--out-dir", metavar="DIR",
+            help="journal the run as a crash-safe campaign under DIR (enables --resume)",
+        )
+        sub_parser.add_argument("--run-id", metavar="ID", help="campaign run id (default: generated)")
+        sub_parser.add_argument(
+            "--resume", metavar="RUN_ID",
+            help="finish an interrupted campaign: restore ok cells from the journal, run the rest",
+        )
+
     run_parser = sub.add_parser("run", help="run configurations on one workload")
-    run_parser.add_argument("--workload", required=True, choices=sorted(WORKLOAD_CLASSES))
+    run_parser.add_argument("--workload", choices=sorted(WORKLOAD_CLASSES))
     run_parser.add_argument("--config", nargs="+", default=["no_predict", "lvp_all", "drvp_all_dead_lv"])
+    run_parser.add_argument(
+        "--jobs", type=int, default=1, help="worker processes for campaign cells (with --out-dir/--resume)"
+    )
+    _add_campaign(run_parser)
     _add_common(run_parser)
     run_parser.set_defaults(fn=_cmd_run)
 
@@ -485,6 +653,7 @@ def build_parser() -> argparse.ArgumentParser:
     suite_parser.add_argument(
         "--jobs", type=int, default=1, help="worker processes for (workload x config) fan-out (1 = serial)"
     )
+    _add_campaign(suite_parser)
     _add_common(suite_parser)
     suite_parser.set_defaults(fn=_cmd_suite)
 
@@ -539,6 +708,11 @@ def build_parser() -> argparse.ArgumentParser:
     fuzz_parser.add_argument("--no-shrink", action="store_true", help="report failures without minimising them")
     fuzz_parser.add_argument("--json", action="store_true", help="emit the campaign report as JSON")
     fuzz_parser.add_argument("--out", metavar="DIR", help="write shrunk reproducers (.s files) to this directory")
+    fuzz_parser.add_argument(
+        "--out-dir", metavar="DIR",
+        help="journal judged seeds under DIR (re-running the same command resumes at the first unjudged seed)",
+    )
+    fuzz_parser.add_argument("--run-id", metavar="ID", help="fuzz journal run id (default: fuzz-seed<seed>)")
     fuzz_parser.add_argument("--segments", type=int, default=4, help="generator: code segments per program")
     fuzz_parser.add_argument("--loop-depth", type=int, default=2, help="generator: maximum loop nesting")
     fuzz_parser.add_argument("--load-density", type=float, default=0.25, help="generator: fraction of loads")
@@ -557,6 +731,10 @@ def build_parser() -> argparse.ArgumentParser:
     bench_parser.add_argument("--repeats", type=int, default=3, help="timed repetitions per section (best kept)")
     bench_parser.add_argument("--json", action="store_true", help="emit the full payload as JSON on stdout")
     bench_parser.add_argument("--out", metavar="FILE", help="write the payload to FILE instead of BENCH_<n>.json")
+    bench_parser.add_argument(
+        "--out-dir", metavar="DIR",
+        help="directory for BENCH_<n>.json files and baseline discovery (default: cwd)",
+    )
     bench_parser.add_argument("--no-write", action="store_true", help="do not write a BENCH file")
     bench_parser.add_argument(
         "--baseline", metavar="FILE",

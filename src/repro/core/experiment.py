@@ -29,7 +29,7 @@ paper (Section 6).
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+from dataclasses import asdict, dataclass
 from typing import Optional, Sequence, Tuple
 
 from ..compiler.realloc import ReallocReport
@@ -89,6 +89,25 @@ class ExperimentResult:
     @property
     def ipc(self) -> float:
         return self.stats.ipc
+
+    # Journal round-trip (``repro.runtime``): a committed cell is stored as
+    # plain JSON so a resumed campaign restores it without re-simulating.
+    def to_dict(self) -> dict:
+        return {
+            "workload": self.workload,
+            "config": self.config,
+            "recovery": self.recovery,
+            "stats": asdict(self.stats),
+        }
+
+    @classmethod
+    def from_dict(cls, payload: dict) -> "ExperimentResult":
+        return cls(
+            workload=str(payload["workload"]),
+            config=str(payload["config"]),
+            recovery=str(payload["recovery"]),
+            stats=SimStats(**payload["stats"]),
+        )
 
 
 class ExperimentRunner:

@@ -40,14 +40,37 @@ class ResultTable:
         self._cells: Dict[str, Dict[str, ExperimentResult]] = {}
         self._workload_order: List[str] = []
         self._config_order: List[str] = []
+        #: (workload, config) -> campaign status (``ok``/``failed``/``timeout``/...).
+        self._statuses: Dict[tuple, str] = {}
+        #: (workload, config) -> diagnostic for failed cells (the footer).
+        self._failures: Dict[tuple, str] = {}
+
+    def _register(self, workload: str, config: str) -> None:
+        if workload not in self._workload_order:
+            self._workload_order.append(workload)
+        if config not in self._config_order:
+            self._config_order.append(config)
 
     def add(self, result: ExperimentResult) -> None:
         row = self._cells.setdefault(result.workload, {})
         row[result.config] = result
-        if result.workload not in self._workload_order:
-            self._workload_order.append(result.workload)
-        if result.config not in self._config_order:
-            self._config_order.append(result.config)
+        self._register(result.workload, result.config)
+        self._statuses[(result.workload, result.config)] = "ok"
+
+    def mark_failed(self, workload: str, config: str, status: str = "failed", message: str = "") -> None:
+        """Record a cell that produced no result; it renders as ``—`` and
+        appears in the failure footer, keeping the table shape intact."""
+        self._register(workload, config)
+        self._statuses[(workload, config)] = status
+        if message:
+            self._failures[(workload, config)] = message
+
+    def status(self, workload: str, config: str) -> Optional[str]:
+        return self._statuses.get((workload, config))
+
+    @property
+    def has_failures(self) -> bool:
+        return any(status != "ok" for status in self._statuses.values())
 
     # ------------------------------------------------------------------
     # Accessors
@@ -60,8 +83,17 @@ class ResultTable:
         return self._cells[workload][config].ipc / base if base else 0.0
 
     def mean_speedup(self, config: str) -> float:
-        """Arithmetic mean of per-program speedups (the paper's 'average')."""
-        values = [self.speedup(w, config) for w in self._workload_order if config in self._cells[w]]
+        """Arithmetic mean of per-program speedups (the paper's 'average').
+
+        Workloads whose cell (or baseline cell) is missing — e.g. failed in
+        a partial campaign — are excluded from the mean rather than crashing
+        it, matching the ``—`` the table renders for them.
+        """
+        values = [
+            self.speedup(w, config)
+            for w in self._workload_order
+            if config in self._cells.get(w, {}) and self.baseline in self._cells.get(w, {})
+        ]
         return sum(values) / len(values) if values else 0.0
 
     def coverage(self, workload: str, config: str) -> float:
@@ -86,7 +118,7 @@ class ResultTable:
         cells: List[Dict[str, object]] = []
         for workload in self._workload_order:
             for config in self._config_order:
-                result = self._cells[workload].get(config)
+                result = self._cells.get(workload, {}).get(config)
                 if result is None:
                     continue
                 cell: Dict[str, object] = {
@@ -98,15 +130,26 @@ class ResultTable:
                     "accuracy": result.stats.accuracy,
                     "stats": result.stats.summary(),
                 }
-                if self.baseline in self._cells[workload]:
+                if self.baseline in self._cells.get(workload, {}):
                     cell["speedup"] = self.speedup(workload, config)
                 cells.append(cell)
-        return {
+        payload: Dict[str, object] = {
             "baseline": self.baseline,
             "workloads": list(self._workload_order),
             "configs": list(self._config_order),
             "cells": cells,
         }
+        if self._statuses:
+            payload["statuses"] = [
+                {"workload": w, "config": c, "status": status}
+                for (w, c), status in sorted(self._statuses.items())
+            ]
+        if self._failures:
+            payload["failures"] = [
+                {"workload": w, "config": c, "error": message}
+                for (w, c), message in sorted(self._failures.items())
+            ]
+        return payload
 
     def render_json(self, include_metrics: bool = False) -> str:
         payload = self.to_dict()
@@ -138,13 +181,26 @@ class ResultTable:
         for workload in self._workload_order:
             cells = [f"{workload:10s}"]
             for config in self._config_order:
-                result = self._cells[workload].get(config)
+                result = self._cells.get(workload, {}).get(config)
                 if result is None:
-                    cells.append(f"{'-':>16s}")
+                    status = self._statuses.get((workload, config))
+                    cells.append(f"{'—' if status not in (None, 'ok') else '-':>16s}")
                 else:
                     text = f"{100 * result.stats.coverage:.0f}/{100 * result.stats.accuracy:.1f}"
                     cells.append(f"{text:>16s}")
             lines.append("  ".join(cells))
+        return "\n".join(lines) + "\n"
+
+    def render_failures(self, title: str = "failures") -> str:
+        """Footer summarising failed cells (empty string when none failed)."""
+        failed = [(w, c, s) for (w, c), s in sorted(self._statuses.items()) if s != "ok"]
+        if not failed:
+            return ""
+        lines = [f"{title}: {len(failed)} cell(s) did not complete"]
+        for workload, config, status in failed:
+            message = self._failures.get((workload, config), "")
+            suffix = f": {message}" if message else ""
+            lines.append(f"  {status.upper():8s} {workload}/{config}{suffix}")
         return "\n".join(lines) + "\n"
 
     def _render(self, title: str, cell, fmt: str) -> str:
@@ -153,9 +209,18 @@ class ResultTable:
         for workload in self._workload_order:
             cells = [f"{workload:10s}"]
             for config in self._config_order:
-                if config in self._cells[workload]:
-                    cells.append(f"{fmt.format(cell(workload, config)):>{max(8, len(config))}s}")
+                width = max(8, len(config))
+                status = self._statuses.get((workload, config))
+                if config in self._cells.get(workload, {}):
+                    try:
+                        cells.append(f"{fmt.format(cell(workload, config)):>{width}s}")
+                    except KeyError:
+                        # Value depends on a missing cell (e.g. speedup with
+                        # a failed baseline) — degrade that cell, not the row.
+                        cells.append(f"{'—':>{width}s}")
+                elif status is not None and status != "ok":
+                    cells.append(f"{'—':>{width}s}")
                 else:
-                    cells.append(f"{'-':>{max(8, len(config))}s}")
+                    cells.append(f"{'-':>{width}s}")
             lines.append("  ".join(cells))
         return "\n".join(lines) + "\n"

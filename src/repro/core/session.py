@@ -39,16 +39,21 @@ deterministic in ``(name, scale)``, so staleness is impossible.
 :class:`ParallelSuiteRunner` fans (workload × config × recovery) cells out
 over a ``ProcessPoolExecutor``.  Worker processes keep their own module-level
 session, so consecutive cells for the same workload inside one worker reuse
-its traces.  Each cell has a wall-clock timeout and is retried once
-(serially, in the parent) on failure; any pool-level failure degrades the
-remaining cells to serial execution instead of aborting the suite.
+its traces.  Each cell has a wall-clock deadline derived from its
+instruction budget; failures are routed through the campaign taxonomy
+(:mod:`repro.runtime.errors`) — transient ones retried with backoff,
+deterministic ones failed fast — and any pool-level failure degrades the
+remaining cells to serial execution instead of aborting the suite.  With a
+run journal attached, every terminal cell state is committed durably, which
+is what ``repro run --resume`` replays.
 """
 
 from __future__ import annotations
 
 import os
+import time
 from collections import Counter, OrderedDict
-from concurrent.futures import ProcessPoolExecutor, TimeoutError as FutureTimeout, process
+from concurrent.futures import ProcessPoolExecutor, process
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Sequence, Tuple
 
@@ -58,6 +63,8 @@ from ..isa.program import Program
 from ..profiling.critpath import CriticalPathBuilder
 from ..profiling.lists import ProfileLists
 from ..profiling.reuse import ReuseProfile, ReuseProfileBuilder
+from ..runtime.errors import DETERMINISTIC, classify_failure, is_timeout
+from ..runtime.retry import backoff_delay
 from ..sim.functional import FunctionalSimulator
 from ..sim.trace import TraceRecord
 from ..uarch.config import MachineConfig
@@ -68,6 +75,16 @@ from .metrics import get_metrics
 
 #: Default LRU capacity for cached ref traces (the dominant memory cost).
 DEFAULT_TRACE_CAP = int(os.environ.get("REPRO_SESSION_TRACE_CAP", "32"))
+
+#: Default resident-size budget for the trace LRU, in bytes.  Entry-count
+#: caps alone under-protect long-budget runs (a 1M-instruction trace is three
+#: orders of magnitude heavier than a 1.5k one), so eviction also fires on
+#: estimated bytes.
+DEFAULT_TRACE_BYTES = int(os.environ.get("REPRO_SESSION_TRACE_BYTES", str(256 * 1024 * 1024)))
+
+#: Estimated resident cost of one cached :class:`TraceRecord` (slots, ints,
+#: tuple overhead) — an accounting constant, not a measurement.
+TRACE_RECORD_BYTES = 400
 
 #: Program variants whose construction does not depend on profile lists.
 _THRESHOLD_FREE_VARIANTS = ("base",)
@@ -99,16 +116,29 @@ class TrainArtifacts:
 class SimSession:
     """Memoized functional-simulation artifacts, shared process-wide."""
 
-    def __init__(self, trace_capacity: int = DEFAULT_TRACE_CAP) -> None:
+    def __init__(
+        self,
+        trace_capacity: int = DEFAULT_TRACE_CAP,
+        trace_bytes: int = DEFAULT_TRACE_BYTES,
+    ) -> None:
         if trace_capacity <= 0:
             raise ValueError("trace_capacity must be positive")
+        if trace_bytes <= 0:
+            raise ValueError("trace_bytes must be positive")
         self.trace_capacity = trace_capacity
+        self.trace_bytes = trace_bytes
         self._workloads: Dict[Tuple[str, float], Workload] = {}
         self._train: Dict[Tuple[str, float, int], TrainArtifacts] = {}
         self._lists: Dict[Tuple[str, float, int, float, bool], ProfileLists] = {}
         self._programs: Dict[Tuple, Program] = {}
         self._realloc: Dict[Tuple, ReallocReport] = {}
         self._traces: "OrderedDict[Tuple, Tuple[TraceRecord, ...]]" = OrderedDict()
+        self._trace_resident_bytes = 0
+
+    @staticmethod
+    def _trace_cost(trace: Tuple[TraceRecord, ...]) -> int:
+        """Estimated resident bytes of one cached trace tuple."""
+        return 128 + TRACE_RECORD_BYTES * len(trace)
 
     # ------------------------------------------------------------------
     # Workloads
@@ -265,8 +295,16 @@ class SimSession:
             # generator suspension per record) when no observers are attached.
             trace = tuple(sim.run(max_instructions=max_instructions, collect_trace=True).trace)
         self._traces[key] = trace
-        while len(self._traces) > self.trace_capacity:
-            self._traces.popitem(last=False)
+        self._trace_resident_bytes += self._trace_cost(trace)
+        # Evict on either pressure axis — entry count or estimated bytes —
+        # but always keep the entry just inserted, so a single oversized
+        # trace still caches (one eviction pass cannot help it anyway).
+        while len(self._traces) > 1 and (
+            len(self._traces) > self.trace_capacity
+            or self._trace_resident_bytes > self.trace_bytes
+        ):
+            _, evicted = self._traces.popitem(last=False)
+            self._trace_resident_bytes -= self._trace_cost(evicted)
             metrics.inc("session.trace.evictions")
         return trace
 
@@ -282,6 +320,7 @@ class SimSession:
             "programs": len(self._programs),
             "realloc_reports": len(self._realloc),
             "traces": len(self._traces),
+            "trace_bytes": self._trace_resident_bytes,
         }
 
     def reset(self) -> None:
@@ -292,6 +331,7 @@ class SimSession:
         self._programs.clear()
         self._realloc.clear()
         self._traces.clear()
+        self._trace_resident_bytes = 0
 
 
 #: The process-wide session every ExperimentRunner shares by default.
@@ -319,6 +359,11 @@ class SuiteCell:
     config: str
     recovery: str
 
+    @property
+    def cell_id(self) -> str:
+        """The journal identity of this cell (``workload/config/recovery``)."""
+        return f"{self.workload}/{self.config}/{self.recovery}"
+
 
 @dataclass
 class SuiteReport:
@@ -327,6 +372,24 @@ class SuiteReport:
     results: List = field(default_factory=list)  # List[ExperimentResult]
     failures: Dict[SuiteCell, str] = field(default_factory=dict)
     used_processes: bool = False
+    #: Terminal journal status per executed cell: ``ok`` / ``failed`` / ``timeout``.
+    statuses: Dict[SuiteCell, str] = field(default_factory=dict)
+    #: ``transient`` / ``deterministic`` for every cell in ``failures``.
+    failure_kinds: Dict[SuiteCell, str] = field(default_factory=dict)
+    #: Total execution attempts per cell (1 = first try succeeded/failed fast).
+    attempts: Dict[SuiteCell, int] = field(default_factory=dict)
+
+
+def derive_cell_timeout(max_instructions: int) -> float:
+    """Per-cell wall-clock deadline derived from the instruction budget.
+
+    A generous fixed floor (pool spin-up, profiling pass, variant builds)
+    plus a per-instruction allowance several hundred times the measured
+    steady-state cost, capped at the pre-existing 600 s ceiling.  Scaling the
+    deadline with the budget means a hung 1.5k-instruction smoke cell is
+    detected in ~a minute instead of ten.
+    """
+    return min(600.0, 60.0 + 2e-3 * max(0, max_instructions))
 
 
 def _run_cell(
@@ -354,41 +417,69 @@ class ParallelSuiteRunner:
 
     Worker processes inherit nothing from the parent's session; each keeps
     its own, so cells for the same workload that land on the same worker
-    share traces.  Failed or timed-out cells are retried once serially in
-    the parent; a broken pool degrades the rest of the run to serial.
+    share traces.  Failures are classified through the campaign taxonomy
+    (:mod:`repro.runtime.errors`): *transient* failures (worker timeout,
+    poisoned result, OS hiccup) are retried serially in the parent with
+    bounded exponential backoff and deterministic jitter; *deterministic*
+    failures (simulator faults, verifier diagnostics, budget exhaustion)
+    fail fast — exactly one attempt — with the diagnostic preserved.  A
+    broken pool degrades the rest of the run to serial.
+
+    When a :class:`~repro.runtime.journal.RunJournal` is attached, every
+    terminal cell state (``ok`` with the serialized result, ``failed`` /
+    ``timeout`` with the error and its kind) is committed durably as it is
+    reached, and a ``KeyboardInterrupt`` (Ctrl-C, or SIGTERM converted by
+    the campaign layer) cancels queued futures without waiting for running
+    ones and flushes the journal before unwinding — the run is resumable
+    from exactly the cells that never committed.
     """
 
-    #: Executor factory, ``callable(max_workers=n) -> context manager`` with
-    #: ``submit``.  Overridable per instance — the deterministic fault
+    #: Executor factory, ``callable(max_workers=n)`` with ``submit`` and
+    #: ``shutdown``.  Overridable per instance — the deterministic fault
     #: injector (:mod:`repro.testing.faults`) swaps in an executor that
     #: forces timeouts, poisoned results and pool failures so the retry and
     #: serial-fallback paths below are exercised on purpose.
     executor_factory = ProcessPoolExecutor
 
+    #: Injectable sleep (tests zero it to assert the schedule, not wait it).
+    _sleep = staticmethod(time.sleep)
+
     def __init__(
         self,
-        workloads: Sequence[str],
-        configs: Sequence[str],
+        workloads: Sequence[str] = (),
+        configs: Sequence[str] = (),
         recoveries: Sequence[RecoveryScheme] = (RecoveryScheme.SELECTIVE,),
         machine: Optional[MachineConfig] = None,
         max_instructions: int = 40_000,
         threshold: float = 0.8,
         scale: float = 1.0,
         jobs: Optional[int] = None,
-        cell_timeout: float = 600.0,
+        cell_timeout: Optional[float] = None,
+        retries: int = 2,
+        journal=None,
+        cells: Optional[Sequence[SuiteCell]] = None,
     ) -> None:
-        self.cells = [
-            SuiteCell(workload, config, recovery.value)
-            for workload in workloads
-            for config in configs
-            for recovery in recoveries
-        ]
+        if cells is not None:
+            # Explicit cell list: the campaign resume path runs exactly the
+            # non-``ok`` cells of a prior journal, in their original order.
+            self.cells = list(cells)
+        else:
+            self.cells = [
+                SuiteCell(workload, config, recovery.value)
+                for workload in workloads
+                for config in configs
+                for recovery in recoveries
+            ]
         self.machine = machine
         self.max_instructions = max_instructions
         self.threshold = threshold
         self.scale = scale
         self.jobs = jobs if jobs is not None else (os.cpu_count() or 1)
-        self.cell_timeout = cell_timeout
+        self.cell_timeout = (
+            derive_cell_timeout(max_instructions) if cell_timeout is None else cell_timeout
+        )
+        self.retries = max(0, retries)
+        self.journal = journal
 
     # ------------------------------------------------------------------
     def run(self) -> SuiteReport:
@@ -415,23 +506,85 @@ class ParallelSuiteRunner:
         return report
 
     # ------------------------------------------------------------------
+    # Terminal-state commits (report + journal in one place)
+    # ------------------------------------------------------------------
+    def _commit_ok(self, cell: SuiteCell, result, report: SuiteReport, attempts: int, started: float) -> None:
+        report.results.append(result)
+        report.statuses[cell] = "ok"
+        report.attempts[cell] = attempts
+        if self.journal is not None:
+            payload = result.to_dict() if hasattr(result, "to_dict") else None
+            self.journal.record(
+                cell.cell_id, "ok", attempts=attempts,
+                elapsed_s=time.monotonic() - started, result=payload,
+            )
+
+    def _commit_failure(
+        self,
+        cell: SuiteCell,
+        message: str,
+        kind: str,
+        report: SuiteReport,
+        attempts: int,
+        started: float,
+        timed_out: bool = False,
+    ) -> None:
+        report.failures[cell] = message
+        status = "timeout" if timed_out else "failed"
+        report.statuses[cell] = status
+        report.failure_kinds[cell] = kind
+        report.attempts[cell] = attempts
+        if self.journal is not None:
+            self.journal.record(
+                cell.cell_id, status, attempts=attempts,
+                elapsed_s=time.monotonic() - started, error=message, error_kind=kind,
+            )
+
+    # ------------------------------------------------------------------
     def _run_serial(self, cells: Sequence[SuiteCell], report: SuiteReport, note: str = "") -> None:
         metrics = get_metrics()
         for cell in cells:
+            started = time.monotonic()
             try:
-                report.results.append(self._run_local(cell))
+                result = self._run_local(cell)
+            except KeyboardInterrupt:
+                self._flush_journal()
+                raise
+            except Exception as exc:
+                message = f"{note + ': ' if note else ''}{exc!r}"
+                self._commit_failure(
+                    cell, message, classify_failure(exc), report,
+                    attempts=1, started=started, timed_out=is_timeout(exc),
+                )
+            else:
                 metrics.inc("pool.cells_serial")
-            except Exception as exc:  # pragma: no cover - defensive
-                report.failures[cell] = f"{note + ': ' if note else ''}{exc!r}"
+                self._commit_ok(cell, result, report, attempts=1, started=started)
 
     def _run_local(self, cell: SuiteCell):
         return _run_cell(cell, self.machine, self.max_instructions, self.threshold, self.scale)
+
+    def _flush_journal(self) -> None:
+        if self.journal is not None:
+            self.journal.flush()
+
+    @staticmethod
+    def _shutdown_pool(pool, cancel: bool) -> None:
+        shutdown = getattr(pool, "shutdown", None)
+        if shutdown is None:
+            return
+        if cancel:
+            # Never wait on in-flight cells while unwinding: drop queued
+            # work, leave running workers to die with the process.
+            shutdown(wait=False, cancel_futures=True)
+        else:
+            shutdown(wait=True)
 
     def _run_parallel(self, report: SuiteReport) -> None:
         metrics = get_metrics()
         workers = max(1, min(self.jobs, len(self.cells)))
         metrics.inc("pool.workers", workers)
-        with self.executor_factory(max_workers=workers) as pool:
+        pool = self.executor_factory(max_workers=workers)
+        try:
             futures = {
                 pool.submit(
                     _run_cell, cell, self.machine, self.max_instructions, self.threshold, self.scale
@@ -440,22 +593,75 @@ class ParallelSuiteRunner:
             }
             with metrics.timer("pool.wall"):
                 for future, cell in futures.items():
+                    started = time.monotonic()
                     try:
-                        report.results.append(future.result(timeout=self.cell_timeout))
-                        metrics.inc("pool.cells_parallel")
-                    except process.BrokenProcessPool:
+                        result = future.result(timeout=self.cell_timeout)
+                    except (process.BrokenProcessPool, KeyboardInterrupt):
                         raise
                     except Exception as exc:
-                        if isinstance(exc, (FutureTimeout, TimeoutError)):
+                        if is_timeout(exc):
                             metrics.inc("pool.timeouts")
                             future.cancel()
-                        self._retry_cell(cell, exc, report)
+                        self._retry_cell(cell, exc, report, started)
+                    else:
+                        metrics.inc("pool.cells_parallel")
+                        self._commit_ok(cell, result, report, attempts=1, started=started)
+        except BaseException:
+            # Pool collapse, Ctrl-C, SIGTERM: make the journal durable and
+            # abandon the pool without blocking on its running futures, so
+            # the orphaned-pool leak cannot outlive the interrupt.
+            self._shutdown_pool(pool, cancel=True)
+            self._flush_journal()
+            raise
+        else:
+            self._shutdown_pool(pool, cancel=False)
 
-    def _retry_cell(self, cell: SuiteCell, first_error: Exception, report: SuiteReport) -> None:
-        """Retry a failed cell once, serially in the parent process."""
+    def _retry_cell(self, cell: SuiteCell, first_error: Exception, report: SuiteReport, started: float) -> None:
+        """Dispatch a failed cell through the failure taxonomy.
+
+        Deterministic failures are final on the first attempt (replaying
+        deterministic code on deterministic inputs replays the failure);
+        transient failures are retried serially in the parent, up to
+        ``self.retries`` times, behind deterministically-jittered backoff.
+        A retry that raises a *deterministic* error also stops immediately.
+        """
         metrics = get_metrics()
-        metrics.inc("pool.retries")
-        try:
-            report.results.append(self._run_local(cell))
-        except Exception as exc:
-            report.failures[cell] = f"first: {first_error!r}; retry: {exc!r}"
+        if classify_failure(first_error) == DETERMINISTIC:
+            metrics.inc("pool.fail_fast")
+            self._commit_failure(
+                cell, f"{first_error!r}", DETERMINISTIC, report,
+                attempts=1, started=started, timed_out=is_timeout(first_error),
+            )
+            return
+        last_error: Exception = first_error
+        attempts = 1
+        for attempt in range(self.retries):
+            metrics.inc("pool.retries")
+            self._sleep(backoff_delay(attempt, seed=(cell.workload, cell.config, cell.recovery)))
+            attempts += 1
+            try:
+                result = self._run_local(cell)
+            except KeyboardInterrupt:
+                self._flush_journal()
+                raise
+            except Exception as exc:
+                last_error = exc
+                if classify_failure(exc) == DETERMINISTIC:
+                    break
+            else:
+                self._commit_ok(cell, result, report, attempts=attempts, started=started)
+                return
+        message = (
+            f"first: {first_error!r}; retry: {last_error!r}"
+            if attempts > 1
+            else f"{first_error!r}"  # retries=0: there was no retry to cite
+        )
+        self._commit_failure(
+            cell,
+            message,
+            classify_failure(last_error),
+            report,
+            attempts=attempts,
+            started=started,
+            timed_out=is_timeout(last_error),
+        )

@@ -1,0 +1,81 @@
+"""repro.runtime — crash-safe, resumable campaign execution.
+
+Layers, bottom-up:
+
+* :mod:`~repro.runtime.atomic` — temp+rename+fsync file writes.
+* :mod:`~repro.runtime.retry` — bounded exponential backoff with
+  deterministic jitter.
+* :mod:`~repro.runtime.errors` — the transient/deterministic failure
+  taxonomy threaded through :class:`~repro.core.session.ParallelSuiteRunner`.
+* :mod:`~repro.runtime.journal` — the append-only JSONL run journal.
+* :mod:`~repro.runtime.campaign` — specs, run/resume orchestration.
+
+``campaign`` is exposed lazily (module-level ``__getattr__``): it imports
+:mod:`repro.core.session`, which itself imports this package's ``errors``
+and ``retry`` modules, so importing it eagerly here would create an import
+cycle through a half-initialized package.
+"""
+
+from .atomic import atomic_write_json, atomic_write_text, fsync_directory
+from .errors import (
+    DETERMINISTIC,
+    TRANSIENT,
+    BudgetExceeded,
+    CampaignError,
+    DeterministicError,
+    TransientError,
+    classify_failure,
+    is_timeout,
+)
+from .journal import (
+    JOURNAL_SCHEMA,
+    JournalError,
+    RunJournal,
+    config_fingerprint,
+    journal_path,
+    list_run_ids,
+    new_run_id,
+)
+from .retry import backoff_delay, backoff_delays
+
+#: Names resolved lazily from .campaign (see module docstring).
+_CAMPAIGN_EXPORTS = (
+    "CampaignSpec",
+    "CampaignReport",
+    "MACHINE_FACTORIES",
+    "deliver_sigterm_as_interrupt",
+    "run_campaign",
+    "resume_campaign",
+)
+
+__all__ = [
+    "atomic_write_json",
+    "atomic_write_text",
+    "fsync_directory",
+    "DETERMINISTIC",
+    "TRANSIENT",
+    "BudgetExceeded",
+    "CampaignError",
+    "DeterministicError",
+    "TransientError",
+    "classify_failure",
+    "is_timeout",
+    "JOURNAL_SCHEMA",
+    "JournalError",
+    "RunJournal",
+    "config_fingerprint",
+    "journal_path",
+    "list_run_ids",
+    "new_run_id",
+    "backoff_delay",
+    "backoff_delays",
+    *_CAMPAIGN_EXPORTS,
+]
+
+
+def __getattr__(name: str):
+    if name in _CAMPAIGN_EXPORTS:
+        from . import campaign
+
+        return getattr(campaign, name)
+    raise AttributeError(f"module {__name__!r} has no attribute {name!r}")

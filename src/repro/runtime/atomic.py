@@ -1,0 +1,70 @@
+"""Atomic, durable file writes for campaign artifacts.
+
+Every file the campaign layer persists — journal headers, BENCH payloads,
+fuzz reports — goes through :func:`atomic_write_text`: the content is written
+to a temporary file in the *same directory*, flushed and fsynced, then moved
+over the destination with :func:`os.replace` (atomic on POSIX and Windows for
+same-filesystem paths).  A reader therefore never observes a half-written
+file: it sees either the old content or the new content, even if the writer
+is SIGKILLed mid-write.
+
+Appends (journal cell records) cannot use temp+rename; they instead rely on
+line-granular JSONL plus an fsync per committed record — see
+:mod:`repro.runtime.journal`, which tolerates a torn *final* line.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import tempfile
+from typing import Optional
+
+
+def fsync_directory(path: str) -> None:
+    """Best-effort fsync of a directory (durability of the rename itself)."""
+    try:
+        fd = os.open(path, os.O_RDONLY)
+    except OSError:
+        return
+    try:
+        os.fsync(fd)
+    except OSError:
+        pass
+    finally:
+        os.close(fd)
+
+
+def atomic_write_text(path: str, text: str, fsync: bool = True) -> None:
+    """Write ``text`` to ``path`` atomically (temp file + rename).
+
+    The temporary file lives in the destination directory so the final
+    :func:`os.replace` never crosses a filesystem boundary.  With ``fsync``
+    (the default) the data is flushed to disk before the rename and the
+    directory entry is synced after it, so a crash at any point leaves either
+    the complete old file or the complete new file.
+    """
+    directory = os.path.dirname(os.path.abspath(path)) or "."
+    fd, tmp_path = tempfile.mkstemp(prefix=os.path.basename(path) + ".", dir=directory)
+    try:
+        with os.fdopen(fd, "w") as handle:
+            handle.write(text)
+            handle.flush()
+            if fsync:
+                os.fsync(handle.fileno())
+        os.replace(tmp_path, path)
+        if fsync:
+            fsync_directory(directory)
+    except BaseException:
+        try:
+            os.unlink(tmp_path)
+        except OSError:
+            pass
+        raise
+
+
+def atomic_write_json(
+    path: str, payload: object, fsync: bool = True, indent: Optional[int] = 2
+) -> None:
+    """JSON convenience wrapper over :func:`atomic_write_text`."""
+    atomic_write_text(path, json.dumps(payload, indent=indent, sort_keys=True) + "\n", fsync=fsync)

@@ -1,0 +1,284 @@
+"""Crash-safe, resumable experiment campaigns.
+
+A *campaign* is one (workload × config × recovery) grid executed through
+:class:`~repro.core.session.ParallelSuiteRunner`, checkpointed cell-by-cell
+into a :class:`~repro.runtime.journal.RunJournal`.  The contract:
+
+* **Crash-safe.**  Every terminal cell state (``ok`` with the serialized
+  result, ``failed``/``timeout`` with the diagnostic and its taxonomy kind)
+  is fsynced before the campaign moves on.  SIGINT and SIGTERM cancel queued
+  cells without waiting on running ones and flush the journal first; SIGKILL
+  at worst tears the final journal line, which replay tolerates.
+* **Resumable.**  ``resume_campaign`` re-opens the journal, verifies the
+  stored config fingerprint (the journal header is the source of truth for
+  the grid — a changed grid is an error, not a merge), restores every ``ok``
+  cell from its stored payload without re-simulating, and re-executes only
+  the non-``ok`` cells.  A campaign killed at 50% therefore finishes the
+  remaining 50% and produces the identical
+  :class:`~repro.core.results.ResultTable` an uninterrupted run would have.
+
+The machine configuration is referenced *by name* (``table1`` /
+``aggressive``) so it participates in the config fingerprint; everything
+else in the spec is plain numbers and strings for the same reason.
+"""
+
+from __future__ import annotations
+
+import signal
+import threading
+from contextlib import contextmanager
+from dataclasses import dataclass, field, replace
+from typing import Callable, Dict, List, Optional, Sequence, Tuple
+
+from ..core.experiment import ExperimentResult
+from ..core.session import ParallelSuiteRunner, SuiteCell
+from ..uarch.config import MachineConfig, aggressive_config, table1_config
+from .journal import OK, PENDING, RunJournal, new_run_id
+
+#: Machine configurations a campaign can name (names go into the fingerprint).
+MACHINE_FACTORIES: Dict[str, Callable[[], MachineConfig]] = {
+    "table1": table1_config,
+    "aggressive": aggressive_config,
+}
+
+
+@dataclass(frozen=True)
+class CampaignSpec:
+    """The complete, fingerprintable description of one campaign grid."""
+
+    workloads: Tuple[str, ...]
+    configs: Tuple[str, ...]
+    recoveries: Tuple[str, ...] = ("selective",)
+    machine: str = "table1"
+    max_instructions: int = 40_000
+    threshold: float = 0.8
+    scale: float = 1.0
+    jobs: int = 1
+
+    def __post_init__(self) -> None:
+        if self.machine not in MACHINE_FACTORIES:
+            raise ValueError(
+                f"unknown machine {self.machine!r}; choose from {sorted(MACHINE_FACTORIES)}"
+            )
+
+    # -- identity -------------------------------------------------------
+    def config_dict(self) -> Dict[str, object]:
+        """The canonical payload stored (and fingerprinted) in the journal.
+
+        ``jobs`` is deliberately excluded: parallelism changes scheduling,
+        never results, so resuming with a different ``--jobs`` is legal.
+        """
+        return {
+            "workloads": list(self.workloads),
+            "configs": list(self.configs),
+            "recoveries": list(self.recoveries),
+            "machine": self.machine,
+            "max_instructions": self.max_instructions,
+            "threshold": self.threshold,
+            "scale": self.scale,
+        }
+
+    @classmethod
+    def from_config(cls, config: Dict[str, object], jobs: int = 1) -> "CampaignSpec":
+        """Rebuild a spec from a journal header (the header wins on resume)."""
+        return cls(
+            workloads=tuple(config["workloads"]),
+            configs=tuple(config["configs"]),
+            recoveries=tuple(config["recoveries"]),
+            machine=str(config.get("machine", "table1")),
+            max_instructions=int(config["max_instructions"]),
+            threshold=float(config["threshold"]),
+            scale=float(config.get("scale", 1.0)),
+            jobs=jobs,
+        )
+
+    # -- materialization ------------------------------------------------
+    def cells(self) -> List[SuiteCell]:
+        return [
+            SuiteCell(workload, config, recovery)
+            for workload in self.workloads
+            for config in self.configs
+            for recovery in self.recoveries
+        ]
+
+    def cell_ids(self) -> List[str]:
+        return [cell.cell_id for cell in self.cells()]
+
+    def build_machine(self) -> MachineConfig:
+        return MACHINE_FACTORIES[self.machine]()
+
+    def with_jobs(self, jobs: int) -> "CampaignSpec":
+        return replace(self, jobs=jobs)
+
+
+@dataclass
+class CampaignReport:
+    """What one (possibly resumed) campaign run produced."""
+
+    run_id: str
+    journal_path: str
+    spec: CampaignSpec
+    #: Completed results in grid order (restored + freshly executed).
+    results: List[ExperimentResult] = field(default_factory=list)
+    #: cell id -> terminal status (``pending`` for never-reached cells).
+    statuses: Dict[str, str] = field(default_factory=dict)
+    #: cell id -> diagnostic for every non-``ok`` cell that failed.
+    failures: Dict[str, str] = field(default_factory=dict)
+    #: cell id -> ``transient`` / ``deterministic`` for failed cells.
+    failure_kinds: Dict[str, str] = field(default_factory=dict)
+    restored: int = 0
+    executed: int = 0
+    resumed: bool = False
+    used_processes: bool = False
+
+    @property
+    def complete(self) -> bool:
+        return bool(self.statuses) and all(status == OK for status in self.statuses.values())
+
+    def counts(self) -> Dict[str, int]:
+        tally: Dict[str, int] = {}
+        for status in self.statuses.values():
+            tally[status] = tally.get(status, 0) + 1
+        return tally
+
+
+@contextmanager
+def deliver_sigterm_as_interrupt():
+    """Route SIGTERM through the KeyboardInterrupt unwind path.
+
+    The runner's interrupt handling (cancel queued futures, flush the
+    journal, re-raise) is written once against ``KeyboardInterrupt``; this
+    makes a polite ``kill`` take the same exit ramp as Ctrl-C.  Outside the
+    main thread (or where signals are unavailable) it is a no-op.
+    """
+    if threading.current_thread() is not threading.main_thread():
+        yield
+        return
+    def _raise_interrupt(signum, frame):
+        raise KeyboardInterrupt(f"signal {signum}")
+
+    try:
+        previous = signal.getsignal(signal.SIGTERM)
+        signal.signal(signal.SIGTERM, _raise_interrupt)
+    except (ValueError, OSError, AttributeError):
+        yield
+        return
+    try:
+        yield
+    finally:
+        signal.signal(signal.SIGTERM, previous)
+
+
+def _execute(
+    spec: CampaignSpec,
+    journal: RunJournal,
+    cells_to_run: Sequence[SuiteCell],
+    restored: Dict[str, ExperimentResult],
+    resumed: bool,
+    machine: Optional[MachineConfig],
+    retries: int,
+    cell_timeout: Optional[float],
+    executor_factory,
+) -> CampaignReport:
+    runner = ParallelSuiteRunner(
+        machine=machine if machine is not None else spec.build_machine(),
+        max_instructions=spec.max_instructions,
+        threshold=spec.threshold,
+        scale=spec.scale,
+        jobs=spec.jobs,
+        retries=retries,
+        cell_timeout=cell_timeout,
+        journal=journal,
+        cells=list(cells_to_run),
+    )
+    if executor_factory is not None:
+        runner.executor_factory = executor_factory
+    try:
+        with deliver_sigterm_as_interrupt():
+            suite_report = runner.run()
+    except KeyboardInterrupt:
+        # The runner already cancelled queued futures and flushed every
+        # committed record; closing releases the append handle so the next
+        # process can resume from exactly this point.
+        journal.close()
+        raise
+    report = CampaignReport(
+        run_id=journal.run_id,
+        journal_path=journal.path,
+        spec=spec,
+        resumed=resumed,
+        restored=len(restored),
+        executed=len(cells_to_run),
+        used_processes=suite_report.used_processes,
+    )
+    fresh: Dict[str, ExperimentResult] = {
+        SuiteCell(r.workload, r.config, r.recovery).cell_id: r for r in suite_report.results
+    }
+    states = journal.states()
+    for cell in spec.cells():
+        cell_id = cell.cell_id
+        entry = states.get(cell_id)
+        report.statuses[cell_id] = str(entry["status"]) if entry else PENDING
+        result = fresh.get(cell_id) or restored.get(cell_id)
+        if result is not None:
+            report.results.append(result)
+        elif entry and entry.get("error"):
+            report.failures[cell_id] = str(entry["error"])
+            if entry.get("error_kind"):
+                report.failure_kinds[cell_id] = str(entry["error_kind"])
+    journal.close()
+    return report
+
+
+def run_campaign(
+    spec: CampaignSpec,
+    out_dir: str,
+    run_id: Optional[str] = None,
+    machine: Optional[MachineConfig] = None,
+    retries: int = 2,
+    cell_timeout: Optional[float] = None,
+    executor_factory=None,
+) -> CampaignReport:
+    """Execute a fresh campaign with a new journal under ``out_dir``."""
+    run_id = run_id if run_id is not None else new_run_id()
+    journal = RunJournal.create(out_dir, run_id, spec.config_dict(), spec.cell_ids())
+    return _execute(
+        spec, journal, spec.cells(), restored={}, resumed=False,
+        machine=machine, retries=retries, cell_timeout=cell_timeout,
+        executor_factory=executor_factory,
+    )
+
+
+def resume_campaign(
+    out_dir: str,
+    run_id: str,
+    spec: Optional[CampaignSpec] = None,
+    jobs: Optional[int] = None,
+    machine: Optional[MachineConfig] = None,
+    retries: int = 2,
+    cell_timeout: Optional[float] = None,
+    executor_factory=None,
+) -> CampaignReport:
+    """Finish an interrupted campaign: restore ``ok`` cells, run the rest.
+
+    The journal header is authoritative for the grid.  A caller-supplied
+    ``spec`` is *verified* against the stored fingerprint (and rejected on
+    mismatch) rather than trusted; with no spec, the grid is reconstructed
+    from the header, so ``repro run --resume <id>`` needs nothing but the id.
+    """
+    journal = RunJournal.find(out_dir, run_id)
+    header_spec = CampaignSpec.from_config(journal.config, jobs=jobs if jobs is not None else 1)
+    if spec is not None:
+        journal.verify_config(spec.config_dict())
+        header_spec = header_spec.with_jobs(jobs if jobs is not None else spec.jobs)
+    restored: Dict[str, ExperimentResult] = {}
+    for cell_id, entry in journal.states().items():
+        if entry.get("status") == OK and entry.get("result"):
+            restored[cell_id] = ExperimentResult.from_dict(entry["result"])
+    pending_ids = set(journal.pending_cells())
+    cells_to_run = [cell for cell in header_spec.cells() if cell.cell_id in pending_ids]
+    return _execute(
+        header_spec, journal, cells_to_run, restored=restored, resumed=True,
+        machine=machine, retries=retries, cell_timeout=cell_timeout,
+        executor_factory=executor_factory,
+    )

@@ -59,6 +59,19 @@ class SimulationError(RuntimeError):
     """Raised for runaway or malformed execution (pc out of range, no halt)."""
 
 
+class BudgetExceeded(SimulationError):
+    """A run committed its full instruction budget without halting.
+
+    Raised only by simulators built with ``strict_budget=True`` — the default
+    keeps the historical semantics (truncate at the budget, ``halted=False``),
+    which profiling and the paper's fixed-budget measurements rely on.  The
+    campaign layer (:mod:`repro.runtime`) derives per-cell wall-clock
+    deadlines from ``max_instructions``; this guard is the in-process
+    counterpart, turning a runaway program into a deterministic, classifiable
+    fault instead of a hung worker.
+    """
+
+
 @dataclass
 class RunResult:
     """Outcome of a functional run."""
@@ -79,12 +92,15 @@ class FunctionalSimulator:
         memory: Optional[Memory] = None,
         state: Optional[ArchState] = None,
         engine: Optional[str] = None,
+        strict_budget: bool = False,
     ) -> None:
         self.program = program
         self.memory = memory if memory is not None else Memory()
         self.state = state if state is not None else ArchState()
         self.state.pc = program.entry
         self.engine = engine if engine is not None else DEFAULT_ENGINE
+        #: raise :class:`BudgetExceeded` instead of truncating at the budget.
+        self.strict_budget = strict_budget
         if self.engine not in _ENGINES:
             raise ValueError(f"unknown engine {self.engine!r}; choose from {_ENGINES}")
         self._observers: List[Observer] = []
@@ -93,6 +109,18 @@ class FunctionalSimulator:
 
     def add_observer(self, observer: Observer) -> None:
         self._observers.append(observer)
+
+    def _check_budget(self, halted: bool, executed: int, max_instructions: int, pc: int) -> None:
+        """Raise :class:`BudgetExceeded` when a strict run exhausts its budget.
+
+        Called after a commit loop falls off the end; identical for both
+        engines so the decoded core faults exactly where the oracle would.
+        """
+        if self.strict_budget and not halted and executed >= max_instructions:
+            raise BudgetExceeded(
+                f"instruction budget exhausted: program {self.program.name!r} committed "
+                f"{executed} instructions without halting (budget {max_instructions}, pc {pc})"
+            )
 
     # ------------------------------------------------------------------
     # Reference engine (the oracle) — decodes every dynamic instruction
@@ -198,6 +226,7 @@ class FunctionalSimulator:
                 yield record
                 if halted:
                     break
+            self._check_budget(halted, executed, max_instructions, self.state.pc)
         finally:
             self.last_result = RunResult(
                 state=self.state, memory=self.memory, instructions=executed, halted=halted, trace=None
@@ -249,6 +278,7 @@ class FunctionalSimulator:
                         halted = True
                         break
                     pc = record.next_pc
+            self._check_budget(halted, executed, max_instructions, pc)
         finally:
             self.last_result = RunResult(
                 state=state, memory=self.memory, instructions=executed, halted=halted, trace=None
@@ -288,6 +318,7 @@ class FunctionalSimulator:
                 # Keep state.pc exactly where the reference engine leaves it,
                 # including on SimulationError / unaligned-access faults.
                 state.pc = pc
+            self._check_budget(halted, executed, max_instructions, pc)
         finally:
             self.last_result = RunResult(
                 state=state, memory=self.memory, instructions=executed, halted=halted, trace=None
@@ -326,6 +357,7 @@ class FunctionalSimulator:
                     halted = True
                     break
                 pc = record.next_pc
+            self._check_budget(halted, executed, max_instructions, pc)
         finally:
             self.last_result = RunResult(
                 state=state, memory=self.memory, instructions=executed, halted=halted, trace=None
@@ -405,6 +437,7 @@ def run_program(
     collect_trace: bool = False,
     observers: Optional[List[Observer]] = None,
     state: Optional[ArchState] = None,
+    strict_budget: bool = False,
 ) -> RunResult:
     """Convenience wrapper: build a simulator, attach observers, run.
 
@@ -412,7 +445,7 @@ def run_program(
     (its ``pc`` is reset to the program entry), exactly as when passing it
     to :class:`FunctionalSimulator` directly.
     """
-    sim = FunctionalSimulator(program, memory=memory, state=state)
+    sim = FunctionalSimulator(program, memory=memory, state=state, strict_budget=strict_budget)
     for observer in observers or []:
         sim.add_observer(observer)
     return sim.run(max_instructions=max_instructions, collect_trace=collect_trace)

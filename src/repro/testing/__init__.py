@@ -16,7 +16,9 @@ Four layers, composed by :func:`run_fuzz` (the engine behind ``repro fuzz``):
 
 from .faults import (
     BREAK_POOL,
+    INTERRUPT,
     POISON,
+    SIM_FAULT,
     TIMEOUT,
     FaultInjector,
     FaultPlan,
@@ -42,7 +44,9 @@ from .shrinker import delete_pcs, shrink_case
 
 __all__ = [
     "BREAK_POOL",
+    "INTERRUPT",
     "POISON",
+    "SIM_FAULT",
     "TIMEOUT",
     "CaseInvalid",
     "FaultInjector",

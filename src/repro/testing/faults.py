@@ -28,15 +28,25 @@ from dataclasses import dataclass, field
 from typing import Dict, FrozenSet, List, Optional, Tuple
 
 from ..core.session import ParallelSuiteRunner, SimSession, SuiteReport
+from ..sim.functional import SimulationError
 
 #: Fault kinds a cell slot can carry.
 TIMEOUT = "timeout"
 POISON = "poison"
 BREAK_POOL = "break-pool"
+SIM_FAULT = "sim-fault"
+INTERRUPT = "interrupt"
 
 
 class PoisonedCellError(RuntimeError):
-    """Stands in for a worker that returned garbage (e.g. unpicklable state)."""
+    """Stands in for a worker that returned garbage (e.g. unpicklable state).
+
+    An in-transit loss, not an experiment failure — the class-attribute hook
+    :func:`repro.runtime.errors.classify_failure` honours marks it transient
+    (retryable) without the taxonomy module importing this package.
+    """
+
+    transient = True
 
 
 @dataclass(frozen=True)
@@ -45,8 +55,13 @@ class FaultPlan:
 
     timeout_slots: FrozenSet[int] = frozenset()
     poison_slots: FrozenSet[int] = frozenset()
+    #: slots whose cell raises a *deterministic* simulator fault — the
+    #: taxonomy's fail-fast path (exactly one attempt, no retry)
+    sim_fault_slots: FrozenSet[int] = frozenset()
     #: slot whose result collapses the whole pool (serial-fallback path)
     break_pool_slot: Optional[int] = None
+    #: slot whose result raises KeyboardInterrupt mid-campaign (kill path)
+    interrupt_slot: Optional[int] = None
 
     @classmethod
     def from_seed(
@@ -55,7 +70,9 @@ class FaultPlan:
         slots: int,
         timeouts: int = 1,
         poisons: int = 1,
+        sim_faults: int = 0,
         break_pool: bool = False,
+        interrupt: bool = False,
     ) -> "FaultPlan":
         """Deterministically pick disjoint fault slots for a given seed."""
         rng = random.Random(seed)
@@ -71,16 +88,29 @@ class FaultPlan:
 
         timeout_slots = take(min(timeouts, slots))
         poison_slots = take(min(poisons, max(0, slots - cursor)))
+        sim_fault_slots = take(min(sim_faults, max(0, slots - cursor)))
         break_slot = order[cursor] if break_pool and cursor < slots else None
-        return cls(timeout_slots=timeout_slots, poison_slots=poison_slots, break_pool_slot=break_slot)
+        cursor += break_slot is not None
+        interrupt_slot = order[cursor] if interrupt and cursor < slots else None
+        return cls(
+            timeout_slots=timeout_slots,
+            poison_slots=poison_slots,
+            sim_fault_slots=sim_fault_slots,
+            break_pool_slot=break_slot,
+            interrupt_slot=interrupt_slot,
+        )
 
     def fault_for(self, slot: int) -> Optional[str]:
         if slot == self.break_pool_slot:
             return BREAK_POOL
+        if slot == self.interrupt_slot:
+            return INTERRUPT
         if slot in self.timeout_slots:
             return TIMEOUT
         if slot in self.poison_slots:
             return POISON
+        if slot in self.sim_fault_slots:
+            return SIM_FAULT
         return None
 
 
@@ -100,6 +130,10 @@ class _FaultyFuture:
             raise PoisonedCellError("injected poisoned cell result")
         if self.fault == BREAK_POOL:
             raise process.BrokenProcessPool("injected pool collapse")
+        if self.fault == SIM_FAULT:
+            raise SimulationError("injected deterministic simulator fault")
+        if self.fault == INTERRUPT:
+            raise KeyboardInterrupt("injected mid-campaign interrupt")
         return self._fn(*self._args)
 
     def cancel(self) -> bool:
@@ -108,17 +142,24 @@ class _FaultyFuture:
 
 
 class FaultyExecutor:
-    """Drop-in ``ProcessPoolExecutor`` replacement with scripted failures."""
+    """Drop-in ``ProcessPoolExecutor`` replacement with scripted failures.
+
+    ``shutdown`` calls are recorded (``(wait, cancel_futures)`` tuples) so
+    tests can assert the runner's interrupt path really cancelled queued
+    futures instead of waiting on them — the orphaned-pool regression.
+    """
 
     def __init__(self, plan: FaultPlan, max_workers: Optional[int] = None) -> None:
         self.plan = plan
         self.max_workers = max_workers
         self.submitted: List[_FaultyFuture] = []
+        self.shutdown_calls: List[Tuple[bool, bool]] = []
 
     def __enter__(self) -> "FaultyExecutor":
         return self
 
     def __exit__(self, *exc_info) -> None:
+        self.shutdown(wait=True)
         return None
 
     def submit(self, fn, *args, **kwargs) -> _FaultyFuture:
@@ -126,6 +167,12 @@ class FaultyExecutor:
         future = _FaultyFuture(fn, args, self.plan.fault_for(slot))
         self.submitted.append(future)
         return future
+
+    def shutdown(self, wait: bool = True, cancel_futures: bool = False) -> None:
+        self.shutdown_calls.append((wait, cancel_futures))
+        if cancel_futures:
+            for future in self.submitted:
+                future.cancel()
 
 
 @dataclass
@@ -145,7 +192,7 @@ class FaultInjector:
         return runner
 
     def injected_faults(self) -> Dict[str, int]:
-        counts: Dict[str, int] = {TIMEOUT: 0, POISON: 0, BREAK_POOL: 0}
+        counts: Dict[str, int] = {TIMEOUT: 0, POISON: 0, BREAK_POOL: 0, SIM_FAULT: 0, INTERRUPT: 0}
         for executor in self.executors:
             for future in executor.submitted:
                 if future.fault is not None:
@@ -187,7 +234,8 @@ def evict_traces(session: SimSession, keep: int = 0) -> int:
     """Force LRU eviction down to ``keep`` cached traces; returns evicted count."""
     evicted = 0
     while len(session._traces) > max(0, keep):
-        session._traces.popitem(last=False)
+        _, trace = session._traces.popitem(last=False)
+        session._trace_resident_bytes -= session._trace_cost(trace)
         evicted += 1
     return evicted
 

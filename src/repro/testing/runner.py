@@ -93,16 +93,36 @@ def run_fuzz(
     shrink: bool = True,
     config: GeneratorConfig = GeneratorConfig(),
     progress: Optional[Callable[[int, int], None]] = None,
+    journal=None,
 ) -> FuzzReport:
-    """Run a fuzz campaign; never raises for oracle failures (see the report)."""
+    """Run a fuzz campaign; never raises for oracle failures (see the report).
+
+    With a :class:`~repro.runtime.journal.RunJournal` attached, every judged
+    seed is committed durably (its failures embedded in the record), and
+    seeds already ``ok`` in the journal are restored without re-generating or
+    re-judging — an interrupted campaign resumes at the first unjudged seed.
+    """
     selected = list(oracles) if oracles else list(ORACLE_FAMILIES)
     unknown = [name for name in selected if name not in ORACLES]
     if unknown:
         raise ValueError(f"unknown oracle(s) {unknown}; choose from {list(ORACLE_FAMILIES)}")
 
     report = FuzzReport(seed=seed, runs=runs, oracles=selected)
+    journaled = journal.states() if journal is not None else {}
     for offset in range(runs):
         case_seed = seed + offset
+        entry = journaled.get(f"seed{case_seed}")
+        if entry is not None and entry.get("status") == "ok":
+            stored = entry.get("result") or {}
+            if stored.get("judged"):
+                report.checked += 1
+            else:
+                report.invalid += 1
+            for payload in stored.get("failures", ()):
+                report.failures.append(FuzzFailure(**payload))
+            if progress is not None:
+                progress(offset + 1, runs)
+            continue
         case = generate_case(case_seed, config)
         judged = False
         for oracle in selected:
@@ -130,6 +150,12 @@ def run_fuzz(
             report.checked += 1
         else:
             report.invalid += 1
+        if journal is not None:
+            seed_failures = [f.to_dict() for f in report.failures if f.seed == case_seed]
+            journal.record(
+                f"seed{case_seed}", "ok",
+                result={"judged": judged, "failures": seed_failures},
+            )
         if progress is not None:
             progress(offset + 1, runs)
     return report

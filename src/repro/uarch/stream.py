@@ -24,6 +24,7 @@ from typing import Dict, Iterable, List, Optional, Tuple
 
 from ..isa.opcodes import FuClass, OpKind
 from ..profiling.deadness import reg_id
+from ..sim.functional import BudgetExceeded
 from ..sim.trace import TraceRecord
 from ..vp.base import PredictionSource, SourceKind, ValuePredictor
 
@@ -71,12 +72,21 @@ def _fu_of(record: TraceRecord) -> Tuple[str, str]:
     return "int", "int"
 
 
-def prepare_stream(trace: Iterable[TraceRecord], predictor: ValuePredictor) -> List[StreamEntry]:
+def prepare_stream(
+    trace: Iterable[TraceRecord],
+    predictor: ValuePredictor,
+    max_entries: Optional[int] = None,
+) -> List[StreamEntry]:
     """Precompute the pipeline stream for one trace + predictor combination.
 
     ``trace`` may be any iterable of records — a cached tuple or a live
     :meth:`~repro.sim.functional.FunctionalSimulator.iter_run` generator; it
     is consumed in a single forward pass.
+
+    ``max_entries`` is the campaign layer's instruction-budget guard for the
+    streaming case: when the (possibly unbounded) source yields more records
+    than the budget, :class:`~repro.sim.functional.BudgetExceeded` is raised
+    instead of materializing an arbitrarily large stream.
 
     Everything that is a pure function of the *static* instruction — FU/IQ
     classification, operand register ids, the destination id, the opcode
@@ -95,6 +105,11 @@ def prepare_stream(trace: Iterable[TraceRecord], predictor: ValuePredictor) -> L
     static_cache: Dict[int, Tuple] = {}
 
     for record in trace:
+        if max_entries is not None and len(entries) >= max_entries:
+            raise BudgetExceeded(
+                f"stream budget exhausted: trace yielded more than {max_entries} "
+                f"records (next pc {record.pc})"
+            )
         inst = record.inst
         seq = record.seq
         pc = record.pc

@@ -147,6 +147,66 @@ def test_cli_bench_bad_baseline_exit(tmp_path, capsys):
     capsys.readouterr()
 
 
+def test_cli_bench_tolerates_corrupt_auto_baseline(tmp_path, capsys):
+    """A truncated auto-discovered baseline (crashed previous run, botched
+    merge) must warn and continue, not kill the measurement run."""
+    (tmp_path / "BENCH_1.json").write_text('{"schema": "repro-bench/1", "summ')  # torn
+    code = _bench_cli("--out-dir", str(tmp_path))
+    assert code == 0
+    captured = capsys.readouterr()
+    assert "ignoring unreadable baseline" in captured.err
+    assert "BENCH_1.json" in captured.err
+    payload = json.loads(captured.out)
+    assert payload.get("baseline") is None  # ran uncompared, not against garbage
+
+
+def test_cli_bench_tolerates_wrong_schema_auto_baseline(tmp_path, capsys):
+    (tmp_path / "BENCH_2.json").write_text(json.dumps({"schema": "bogus/0"}))
+    assert _bench_cli("--out-dir", str(tmp_path)) == 0
+    assert "ignoring unreadable baseline" in capsys.readouterr().err
+
+
+def test_cli_bench_explicit_bad_baseline_still_fails(tmp_path, capsys):
+    # Auto-discovery degrades gracefully; an *explicit* --baseline the user
+    # named is a hard error — silently ignoring it would fake a clean bill.
+    path = tmp_path / "broken.json"
+    path.write_text("not json")
+    assert _bench_cli("--baseline", str(path)) == 2
+    capsys.readouterr()
+
+
+def test_write_bench_is_atomic_and_loadable(tmp_path):
+    from repro.bench import write_bench
+
+    target = tmp_path / "BENCH_1.json"
+    payload = {"schema": BENCH_SCHEMA, "summary": {"fast_minstr_s_geomean": 1.0}}
+    write_bench(str(target), payload)
+    assert load_bench(str(target)) == payload
+    # temp+rename leaves nothing else behind
+    assert os.listdir(tmp_path) == ["BENCH_1.json"]
+
+
+def test_cli_bench_out_dir_numbering(tmp_path, capsys):
+    """--out-dir is both where baselines are discovered and where the new
+    BENCH_<n>.json lands."""
+    assert _bench_cli_write("--out-dir", str(tmp_path)) == 0
+    # The second run auto-compares against BENCH_1 written moments ago;
+    # timing noise on a tiny budget may legitimately warn/fail (exit 1),
+    # but the new baseline must be written either way.
+    assert _bench_cli_write("--out-dir", str(tmp_path)) in (0, 1)
+    capsys.readouterr()
+    names = sorted(p.name for p in tmp_path.glob("BENCH_*.json"))
+    assert names == ["BENCH_1.json", "BENCH_2.json"]
+    assert load_bench(str(tmp_path / "BENCH_2.json"))["schema"] == BENCH_SCHEMA
+
+
+def _bench_cli_write(*extra):
+    return main(
+        ["bench", "--workload", "li", "--max-insts", "300", "--repeats", "1", "--json"]
+        + list(extra)
+    )
+
+
 def test_cli_bench_writes_out_file(tmp_path, monkeypatch, capsys):
     monkeypatch.chdir(tmp_path)
     out = tmp_path / "bench.json"

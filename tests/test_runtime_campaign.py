@@ -1,0 +1,210 @@
+"""Campaign orchestration: fresh runs, kill-mid-campaign, resume with zero
+re-runs of committed cells, and the CLI surface (`repro run --out-dir/--resume`)."""
+
+from __future__ import annotations
+
+import json
+import signal
+
+import pytest
+
+from repro.cli import main
+from repro.runtime import (
+    CampaignSpec,
+    JournalError,
+    RunJournal,
+    deliver_sigterm_as_interrupt,
+    journal_path,
+    resume_campaign,
+    run_campaign,
+)
+from repro.testing import FaultPlan, FaultyExecutor
+
+MAX_INSTS = 1_500
+
+SPEC = CampaignSpec(
+    workloads=("li", "go"),
+    configs=("no_predict", "lvp"),
+    max_instructions=MAX_INSTS,
+    jobs=2,
+)
+
+
+class _ExecutorFactory:
+    """Builds FaultyExecutors for a campaign and remembers them."""
+
+    def __init__(self, plan: FaultPlan = FaultPlan()) -> None:
+        self.plan = plan
+        self.executors = []
+
+    def __call__(self, max_workers=None) -> FaultyExecutor:
+        executor = FaultyExecutor(self.plan, max_workers)
+        self.executors.append(executor)
+        return executor
+
+    @property
+    def submissions(self) -> int:
+        return sum(len(e.submitted) for e in self.executors)
+
+
+# ----------------------------------------------------------------------
+# Spec identity
+# ----------------------------------------------------------------------
+def test_spec_rejects_unknown_machine():
+    with pytest.raises(ValueError, match="unknown machine"):
+        CampaignSpec(workloads=("li",), configs=("lvp",), machine="warp9")
+
+
+def test_spec_config_dict_excludes_jobs():
+    # Parallelism never changes results, so resuming with another --jobs
+    # must fingerprint identically.
+    a = SPEC.config_dict()
+    b = SPEC.with_jobs(16).config_dict()
+    assert a == b
+    assert "jobs" not in a
+    rebuilt = CampaignSpec.from_config(a, jobs=3)
+    assert rebuilt.config_dict() == a
+    assert rebuilt.jobs == 3
+
+
+def test_spec_cell_ids_are_grid_ordered():
+    assert SPEC.cell_ids() == [
+        "li/no_predict/selective",
+        "li/lvp/selective",
+        "go/no_predict/selective",
+        "go/lvp/selective",
+    ]
+
+
+# ----------------------------------------------------------------------
+# Fresh run / trivial resume
+# ----------------------------------------------------------------------
+def test_fresh_campaign_completes_and_journals(tmp_path):
+    factory = _ExecutorFactory()
+    report = run_campaign(SPEC, str(tmp_path), run_id="fresh", executor_factory=factory)
+    assert report.complete
+    assert report.run_id == "fresh"
+    assert report.counts() == {"ok": 4}
+    assert report.executed == 4 and report.restored == 0 and not report.resumed
+    assert [r.workload for r in report.results] == ["li", "li", "go", "go"]
+    journal = RunJournal.open(report.journal_path)
+    assert journal.counts() == {"ok": 4}
+    # Every ok record embeds the serialized result resume will restore.
+    assert all(entry["result"]["stats"] for entry in journal.states().values())
+
+
+def test_resume_of_complete_run_restores_everything(tmp_path):
+    run_campaign(SPEC, str(tmp_path), run_id="done", executor_factory=_ExecutorFactory())
+    factory = _ExecutorFactory()
+    report = resume_campaign(str(tmp_path), "done", jobs=2, executor_factory=factory)
+    assert report.complete and report.resumed
+    assert report.restored == 4 and report.executed == 0
+    assert factory.submissions == 0  # nothing re-ran
+    assert len(report.results) == 4
+
+
+# ----------------------------------------------------------------------
+# Kill mid-campaign → resume (the tentpole contract)
+# ----------------------------------------------------------------------
+def test_kill_mid_campaign_then_resume_reruns_only_uncommitted_cells(tmp_path):
+    baseline = run_campaign(
+        SPEC, str(tmp_path), run_id="baseline", executor_factory=_ExecutorFactory()
+    )
+
+    # The injected KeyboardInterrupt stands in for Ctrl-C/SIGTERM landing
+    # while cell 2 is in flight: cells 0 and 1 have committed, 2 and 3 not.
+    killer = _ExecutorFactory(FaultPlan(interrupt_slot=2))
+    with pytest.raises(KeyboardInterrupt):
+        run_campaign(SPEC, str(tmp_path), run_id="killed", executor_factory=killer)
+    # The unwind cancelled queued futures instead of waiting on them.
+    assert (False, True) in killer.executors[0].shutdown_calls
+
+    interrupted = RunJournal.find(str(tmp_path), "killed")
+    assert interrupted.counts() == {"ok": 2, "pending": 2}
+    assert interrupted.pending_cells() == SPEC.cell_ids()[2:]
+
+    resumer = _ExecutorFactory()
+    report = resume_campaign(str(tmp_path), "killed", jobs=2, executor_factory=resumer)
+    assert report.complete and report.resumed
+    assert report.restored == 2 and report.executed == 2
+    assert resumer.submissions == 2  # zero re-runs of committed cells
+    # The resumed campaign is indistinguishable from the uninterrupted one.
+    assert [r.stats for r in report.results] == [r.stats for r in baseline.results]
+
+
+def test_resume_reruns_failed_cells(tmp_path):
+    # A deterministic simulator fault fails cell 0 fast; the campaign is
+    # partial (exit-code-2 territory), and resume re-executes exactly it.
+    faulty = _ExecutorFactory(FaultPlan(sim_fault_slots=frozenset({0})))
+    report = run_campaign(SPEC, str(tmp_path), run_id="partial", executor_factory=faulty)
+    assert not report.complete
+    assert report.counts() == {"ok": 3, "failed": 1}
+    failed_id = SPEC.cell_ids()[0]
+    assert "SimulationError" in report.failures[failed_id]
+    assert report.failure_kinds[failed_id] == "deterministic"
+
+    resumer = _ExecutorFactory()
+    resumed = resume_campaign(str(tmp_path), "partial", jobs=1, executor_factory=resumer)
+    assert resumed.complete
+    assert resumed.restored == 3 and resumed.executed == 1
+
+
+def test_resume_rejects_changed_grid(tmp_path):
+    run_campaign(SPEC, str(tmp_path), run_id="grid", executor_factory=_ExecutorFactory())
+    changed = CampaignSpec(
+        workloads=("li", "go"), configs=("no_predict", "lvp"),
+        max_instructions=MAX_INSTS * 2, jobs=2,
+    )
+    with pytest.raises(JournalError, match="fingerprint mismatch"):
+        resume_campaign(str(tmp_path), "grid", spec=changed)
+
+
+def test_resume_unknown_run_id(tmp_path):
+    with pytest.raises(JournalError, match="no journal for run id"):
+        resume_campaign(str(tmp_path), "ghost")
+
+
+def test_sigterm_takes_the_interrupt_exit_ramp():
+    before = signal.getsignal(signal.SIGTERM)
+    with pytest.raises(KeyboardInterrupt, match=str(int(signal.SIGTERM))):
+        with deliver_sigterm_as_interrupt():
+            signal.raise_signal(signal.SIGTERM)
+    # Whatever handler was installed before the context is back afterwards.
+    assert signal.getsignal(signal.SIGTERM) is before
+
+
+# ----------------------------------------------------------------------
+# CLI surface
+# ----------------------------------------------------------------------
+def test_cli_campaign_run_and_resume(tmp_path, capsys):
+    argv = [
+        "run", "--workload", "li", "--config", "no_predict", "lvp",
+        "--max-insts", str(MAX_INSTS), "--out-dir", str(tmp_path), "--run-id", "demo",
+    ]
+    assert main(argv) == 0
+    out = capsys.readouterr().out
+    assert "campaign demo (run): 2/2 cells ok" in out
+    assert "speedups" in out  # no_predict present -> speedup table renders
+
+    with open(journal_path(str(tmp_path), "demo")) as handle:
+        header = json.loads(handle.readline())
+    assert header["schema"] == "repro-journal/1"
+
+    assert main(["run", "--resume", "demo", "--out-dir", str(tmp_path)]) == 0
+    out = capsys.readouterr().out
+    assert "campaign demo (resumed): 2/2 cells ok, 2 restored" in out
+
+
+def test_cli_resume_requires_out_dir(capsys):
+    assert main(["run", "--resume", "demo"]) == 2
+    assert "--resume requires --out-dir" in capsys.readouterr().err
+
+
+def test_cli_campaign_requires_workload(tmp_path, capsys):
+    assert main(["run", "--out-dir", str(tmp_path)]) == 2
+    assert "--workload" in capsys.readouterr().err
+
+
+def test_cli_resume_unknown_run_id_exits_two(tmp_path, capsys):
+    assert main(["run", "--resume", "ghost", "--out-dir", str(tmp_path)]) == 2
+    assert "no journal for run id" in capsys.readouterr().err

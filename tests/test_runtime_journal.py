@@ -1,0 +1,252 @@
+"""Runtime substrate tests: journal durability/replay, atomic writes,
+backoff determinism and the failure taxonomy."""
+
+from __future__ import annotations
+
+import json
+import os
+from concurrent.futures import TimeoutError as FutureTimeout, process
+
+import pytest
+
+from repro.runtime import (
+    DETERMINISTIC,
+    JOURNAL_SCHEMA,
+    TRANSIENT,
+    BudgetExceeded,
+    DeterministicError,
+    JournalError,
+    RunJournal,
+    TransientError,
+    atomic_write_json,
+    backoff_delay,
+    backoff_delays,
+    classify_failure,
+    config_fingerprint,
+    is_timeout,
+    journal_path,
+    list_run_ids,
+)
+from repro.sim.functional import SimulationError
+from repro.testing import PoisonedCellError
+
+CONFIG = {"workloads": ["li"], "max_instructions": 1500}
+CELLS = ["li/no_predict/selective", "li/lvp/selective"]
+
+
+def _make(tmp_path, run_id="r1", cells=CELLS):
+    return RunJournal.create(str(tmp_path), run_id, CONFIG, cells)
+
+
+# ----------------------------------------------------------------------
+# Fingerprint / paths
+# ----------------------------------------------------------------------
+def test_fingerprint_is_order_independent_and_value_sensitive():
+    a = config_fingerprint({"x": 1, "y": [2, 3]})
+    b = config_fingerprint({"y": [2, 3], "x": 1})
+    c = config_fingerprint({"x": 1, "y": [2, 4]})
+    assert a == b
+    assert a != c
+
+
+def test_journal_path_and_listing(tmp_path):
+    journal = _make(tmp_path, "demo")
+    assert journal.path == journal_path(str(tmp_path), "demo")
+    assert journal.path.endswith("demo.journal.jsonl")
+    assert list_run_ids(str(tmp_path)) == ["demo"]
+    assert list_run_ids(str(tmp_path / "nonexistent")) == []
+
+
+# ----------------------------------------------------------------------
+# Create / append / replay
+# ----------------------------------------------------------------------
+def test_create_open_roundtrip(tmp_path):
+    with _make(tmp_path) as journal:
+        journal.record(CELLS[0], "ok", attempts=1, result={"ipc": 1.5})
+        journal.record(CELLS[1], "failed", error="boom", error_kind=DETERMINISTIC)
+
+    replayed = RunJournal.open(journal.path)
+    assert replayed.header["schema"] == JOURNAL_SCHEMA
+    assert replayed.run_id == "r1"
+    assert replayed.config == CONFIG
+    assert replayed.cells == CELLS
+    assert not replayed.torn_tail
+    assert replayed.status_of(CELLS[0]) == "ok"
+    assert replayed.states()[CELLS[0]]["result"] == {"ipc": 1.5}
+    assert replayed.states()[CELLS[1]]["error_kind"] == DETERMINISTIC
+
+
+def test_create_refuses_existing_run_id(tmp_path):
+    _make(tmp_path).close()
+    with pytest.raises(JournalError, match="already exists"):
+        _make(tmp_path)
+
+
+def test_record_rejects_unknown_status(tmp_path):
+    with _make(tmp_path) as journal:
+        with pytest.raises(ValueError, match="unknown cell status"):
+            journal.record(CELLS[0], "exploded")
+
+
+def test_last_record_per_cell_wins(tmp_path):
+    with _make(tmp_path) as journal:
+        journal.record(CELLS[0], "failed", error="first try")
+        journal.record(CELLS[0], "ok", attempts=2, result={"ipc": 2.0})
+    replayed = RunJournal.open(journal.path)
+    assert replayed.status_of(CELLS[0]) == "ok"
+    assert replayed.states()[CELLS[0]]["attempts"] == 2
+
+
+def test_counts_and_pending_cells(tmp_path):
+    with _make(tmp_path) as journal:
+        journal.record(CELLS[0], "ok", result={})
+        assert journal.counts() == {"ok": 1, "pending": 1}
+        # Never-touched header cells count as pending and must be re-run,
+        # in header order.
+        assert journal.pending_cells() == [CELLS[1]]
+        journal.record(CELLS[1], "timeout", error="deadline")
+        assert journal.pending_cells() == [CELLS[1]]
+        assert journal.counts() == {"ok": 1, "timeout": 1}
+
+
+def test_mark_pending_skips_ok_cells(tmp_path):
+    with _make(tmp_path) as journal:
+        journal.record(CELLS[0], "ok", result={})
+        journal.mark_pending(CELLS)
+    replayed = RunJournal.open(journal.path)
+    assert replayed.status_of(CELLS[0]) == "ok"
+    assert replayed.status_of(CELLS[1]) == "pending"
+
+
+def test_find_unknown_run_id_names_known_runs(tmp_path):
+    _make(tmp_path, "known").close()
+    with pytest.raises(JournalError, match="known"):
+        RunJournal.find(str(tmp_path), "missing")
+
+
+# ----------------------------------------------------------------------
+# Crash model: torn tails vs real corruption
+# ----------------------------------------------------------------------
+def test_torn_final_line_is_tolerated(tmp_path):
+    journal = _make(tmp_path)
+    journal.record(CELLS[0], "ok", result={"ipc": 1.0})
+    journal.close()
+    with open(journal.path, "a") as handle:
+        handle.write('{"type": "cell", "id": "li/lvp/sel')  # SIGKILL mid-append
+
+    replayed = RunJournal.open(journal.path)
+    assert replayed.torn_tail
+    assert replayed.status_of(CELLS[0]) == "ok"
+    assert replayed.status_of(CELLS[1]) is None  # torn record dropped
+
+
+def test_torn_tail_is_truncated_before_next_append(tmp_path):
+    """Appending after a torn tail must not glue records onto the fragment —
+    that would turn a recoverable crash into permanent mid-file corruption."""
+    journal = _make(tmp_path)
+    journal.record(CELLS[0], "ok", result={})
+    journal.close()
+    with open(journal.path, "a") as handle:
+        handle.write('{"type": "cell", "id": "li/lv')
+
+    resumed = RunJournal.open(journal.path)
+    resumed.record(CELLS[1], "ok", result={})
+    resumed.close()
+
+    final = RunJournal.open(journal.path)
+    assert not final.torn_tail
+    assert final.counts() == {"ok": 2}
+    # Every line on disk is valid JSON again.
+    with open(journal.path) as handle:
+        for line in handle.read().splitlines():
+            json.loads(line)
+
+
+def test_torn_middle_line_is_corruption(tmp_path):
+    journal = _make(tmp_path)
+    journal.record(CELLS[0], "ok", result={})
+    journal.close()
+    lines = open(journal.path).read().splitlines()
+    lines[1] = lines[1][: len(lines[1]) // 2]  # tear a *non-final* record
+    lines.append(json.dumps({"type": "cell", "id": CELLS[1], "status": "ok"}))
+    with open(journal.path, "w") as handle:
+        handle.write("\n".join(lines) + "\n")
+    with pytest.raises(JournalError, match="corrupt record at line 2"):
+        RunJournal.open(journal.path)
+
+
+def test_open_rejects_foreign_schema_and_empty_file(tmp_path):
+    path = tmp_path / "bogus.journal.jsonl"
+    path.write_text(json.dumps({"type": "header", "schema": "other/9"}) + "\n")
+    with pytest.raises(JournalError, match="not a repro-journal/1 journal"):
+        RunJournal.open(str(path))
+    path.write_text("")
+    with pytest.raises(JournalError, match="empty journal"):
+        RunJournal.open(str(path))
+
+
+def test_verify_config_fingerprint(tmp_path):
+    journal = _make(tmp_path)
+    journal.verify_config(dict(CONFIG))  # same grid: fine
+    with pytest.raises(JournalError, match="start a new run instead of resuming"):
+        journal.verify_config({**CONFIG, "max_instructions": 9999})
+
+
+# ----------------------------------------------------------------------
+# Atomic writes
+# ----------------------------------------------------------------------
+def test_atomic_write_json_leaves_no_temp_files(tmp_path):
+    target = tmp_path / "payload.json"
+    atomic_write_json(str(target), {"a": 1})
+    atomic_write_json(str(target), {"a": 2})  # overwrite is atomic too
+    assert json.loads(target.read_text()) == {"a": 2}
+    assert os.listdir(tmp_path) == ["payload.json"]
+
+
+# ----------------------------------------------------------------------
+# Backoff schedule
+# ----------------------------------------------------------------------
+def test_backoff_is_deterministic_per_seed():
+    key = ("li", "lvp", "selective")
+    assert backoff_delay(0, seed=key) == backoff_delay(0, seed=key)
+    assert backoff_delay(0, seed=key) != backoff_delay(0, seed=("go", "lvp", "selective"))
+    assert list(backoff_delays(3, seed=key)) == [backoff_delay(a, seed=key) for a in range(3)]
+
+
+def test_backoff_grows_and_caps():
+    base, cap = 0.05, 2.0
+    for attempt in range(12):
+        delay = backoff_delay(attempt, base=base, cap=cap, seed="cell")
+        raw = min(cap, base * 2**attempt)
+        # Jitter scales into [0.5, 1.0) of the raw exponential value.
+        assert 0.5 * raw <= delay < raw
+    with pytest.raises(ValueError):
+        backoff_delay(-1)
+
+
+# ----------------------------------------------------------------------
+# Failure taxonomy
+# ----------------------------------------------------------------------
+@pytest.mark.parametrize(
+    "exc, kind",
+    [
+        (FutureTimeout("worker deadline"), TRANSIENT),
+        (process.BrokenProcessPool("pool died"), TRANSIENT),
+        (ConnectionError("pipe"), TRANSIENT),
+        (OSError("fork failed"), TRANSIENT),
+        (TransientError("wrapped"), TRANSIENT),
+        (PoisonedCellError("garbage result"), TRANSIENT),  # class-attr hook
+        (SimulationError("bad opcode"), DETERMINISTIC),
+        (BudgetExceeded("budget"), DETERMINISTIC),
+        (DeterministicError("verifier said no"), DETERMINISTIC),
+        (ValueError("anything else recurs on replay"), DETERMINISTIC),
+    ],
+)
+def test_classify_failure(exc, kind):
+    assert classify_failure(exc) == kind
+
+
+def test_is_timeout():
+    assert is_timeout(FutureTimeout("deadline"))
+    assert is_timeout(TimeoutError("deadline"))
+    assert not is_timeout(ValueError("nope"))

@@ -8,10 +8,13 @@ from concurrent.futures import TimeoutError as FutureTimeout
 
 import pytest
 
-from repro.core.session import ParallelSuiteRunner, SimSession
+from repro.core.session import ParallelSuiteRunner, SimSession, SuiteCell
+from repro.runtime import DETERMINISTIC, RunJournal, backoff_delay
 from repro.testing import (
     BREAK_POOL,
+    INTERRUPT,
     POISON,
+    SIM_FAULT,
     TIMEOUT,
     FaultInjector,
     FaultPlan,
@@ -136,6 +139,114 @@ def test_run_serial_collects_pickling_failures():
     assert len(report.failures) == len(runner.cells)
     assert all("stub:" in msg and "PicklingError" in msg for msg in report.failures.values())
     assert not report.results
+
+
+def test_retried_cell_reports_attempts_and_backoff_schedule():
+    """A transiently failed cell retries behind exactly the deterministic
+    backoff schedule — no more sleeps, no different jitter."""
+    runner = _runner()
+    injector = FaultInjector(FaultPlan(timeout_slots=frozenset({0})))
+    injector.install(runner)
+    slept = []
+    runner._sleep = slept.append
+    report = runner.run()
+    assert not report.failures
+    faulted = runner.cells[0]
+    assert report.attempts[faulted] == 2  # one injected timeout, one retry
+    assert all(report.statuses[cell] == "ok" for cell in runner.cells)
+    key = (faulted.workload, faulted.config, faulted.recovery)
+    assert slept == [backoff_delay(0, seed=key)]
+
+
+def test_transient_exhaustion_sleeps_full_schedule():
+    runner = _runner(retries=3)
+
+    def always_transient(cell):
+        raise ConnectionError("worker pipe closed")
+
+    injector = FaultInjector(FaultPlan(timeout_slots=frozenset({0})))
+    injector.install(runner)
+    runner._run_local = always_transient
+    slept = []
+    runner._sleep = slept.append
+    report = runner.run()
+    faulted = runner.cells[0]
+    assert report.statuses[faulted] == "failed"  # last error was not a deadline
+    assert report.attempts[faulted] == 4  # initial + 3 retries
+    key = (faulted.workload, faulted.config, faulted.recovery)
+    assert slept == [backoff_delay(a, seed=key) for a in range(3)]
+
+
+def test_deterministic_sim_fault_fails_fast_exactly_once():
+    """A simulator fault replays identically, so the runner must not retry:
+    one attempt, no backoff sleep, diagnostic and kind preserved."""
+    runner = _runner()
+    injector = FaultInjector(FaultPlan(sim_fault_slots=frozenset({0})))
+    injector.install(runner)
+    retried = []
+    original = runner._run_local
+    runner._run_local = lambda cell: retried.append(cell) or original(cell)
+    slept = []
+    runner._sleep = slept.append
+    report = runner.run()
+    assert injector.injected_faults()[SIM_FAULT] == 1
+    faulted = runner.cells[0]
+    assert report.statuses[faulted] == "failed"
+    assert report.attempts[faulted] == 1
+    assert report.failure_kinds[faulted] == DETERMINISTIC
+    assert "SimulationError" in report.failures[faulted]
+    assert not retried and not slept  # exactly one attempt, ever
+    # the healthy cells were unaffected
+    assert len(report.results) == len(runner.cells) - 1
+
+
+def test_interrupt_cancels_pool_and_flushes_journal(tmp_path):
+    """Ctrl-C mid-campaign must abandon the pool without waiting (the
+    orphaned-pool regression) and leave every committed cell durable."""
+    runner = _runner()
+    journal = RunJournal.create(
+        str(tmp_path), "interrupted", {"grid": "test"},
+        [cell.cell_id for cell in runner.cells],
+    )
+    runner.journal = journal
+    injector = FaultInjector(FaultPlan(interrupt_slot=1))
+    injector.install(runner)
+    with pytest.raises(KeyboardInterrupt):
+        runner.run()
+    executor = injector.executors[0]
+    # Queued futures were cancelled, not waited on.
+    assert executor.shutdown_calls[0] == (False, True)
+    assert all(f.cancelled for f in executor.submitted)
+    journal.close()
+    # Slot 0 committed before the interrupt; its record survived on disk.
+    replayed = RunJournal.open(journal.path)
+    assert replayed.status_of(runner.cells[0].cell_id) == "ok"
+    assert replayed.pending_cells() == [cell.cell_id for cell in runner.cells[1:]]
+
+
+def test_poisoned_cell_error_is_transient_by_class_attribute():
+    from repro.runtime import TRANSIENT, classify_failure
+
+    assert PoisonedCellError.transient is True
+    assert classify_failure(PoisonedCellError("garbage")) == TRANSIENT
+
+
+def test_fault_plan_picks_disjoint_new_fault_kinds():
+    plan = FaultPlan.from_seed(
+        7, slots=8, timeouts=1, poisons=1, sim_faults=2, break_pool=True, interrupt=True
+    )
+    claimed = [
+        *plan.timeout_slots, *plan.poison_slots, *plan.sim_fault_slots,
+        plan.break_pool_slot, plan.interrupt_slot,
+    ]
+    assert None not in claimed
+    assert len(claimed) == len(set(claimed)) == 6
+    assert plan.fault_for(plan.interrupt_slot) == INTERRUPT
+    assert all(plan.fault_for(slot) == SIM_FAULT for slot in plan.sim_fault_slots)
+
+
+def test_suite_cell_id_format():
+    assert SuiteCell("li", "lvp", "selective").cell_id == "li/lvp/selective"
 
 
 def test_exercise_suite_recovery_end_to_end():
