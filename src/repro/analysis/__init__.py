@@ -19,7 +19,29 @@ lazily via PEP 562 so that ``compiler.liveness`` can itself import the
 engine without a cycle.
 """
 
-from .dataflow import BACKWARD, FORWARD, INTERSECT, UNION, DataflowProblem, DataflowResult, solve
+from .dataflow import (
+    BACKWARD,
+    FORWARD,
+    INTERSECT,
+    UNION,
+    DataflowProblem,
+    DataflowResult,
+    NodeSolution,
+    solve,
+    solve_nodes,
+)
+from .effects import (
+    ALL_REGS,
+    CALL_USES,
+    EXIT_USES,
+    NONVOLATILES,
+    VOLATILES,
+    defs_and_uses,
+    explicit_defs,
+    explicit_uses,
+    implicit_defs,
+    implicit_uses,
+)
 from .diagnostics import (
     Diagnostic,
     RuleInfo,
@@ -58,7 +80,19 @@ __all__ = [
     "UNION",
     "DataflowProblem",
     "DataflowResult",
+    "NodeSolution",
     "solve",
+    "solve_nodes",
+    "ALL_REGS",
+    "CALL_USES",
+    "EXIT_USES",
+    "NONVOLATILES",
+    "VOLATILES",
+    "defs_and_uses",
+    "explicit_defs",
+    "explicit_uses",
+    "implicit_defs",
+    "implicit_uses",
     "Diagnostic",
     "RuleInfo",
     "Severity",

@@ -25,7 +25,7 @@ for the final facts.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, FrozenSet, Hashable, List, Set, Tuple
+from typing import Callable, Dict, FrozenSet, Hashable, List, Sequence, Set, Tuple
 
 from ..isa.program import BasicBlock, Procedure, Program
 
@@ -35,6 +35,7 @@ UNION = "union"
 INTERSECT = "intersect"
 
 Fact = Hashable
+Node = Hashable
 
 
 class DataflowProblem:
@@ -88,55 +89,76 @@ def _block_gen_kill(
     return gen, kill
 
 
-def solve(program: Program, proc: Procedure, problem: DataflowProblem) -> DataflowResult:
-    """Run the fixpoint and lower to instruction grain."""
-    blocks = program.basic_blocks(proc)
-    if problem.direction == FORWARD:
-        edges = {b.start: list(b.successors) for b in blocks}
+@dataclass
+class NodeSolution:
+    """Fixpoint solution over abstract CFG nodes, in *solver orientation*.
+
+    ``input`` is the meet input of each node (facts at node entry for a
+    forward problem, at node exit for a backward one); ``output`` is the
+    transfer output on the opposite side.
+    """
+
+    input: Dict[Node, Set[Fact]]
+    output: Dict[Node, Set[Fact]]
+
+
+def solve_nodes(
+    order: Sequence[Node],
+    successors: Callable[[Node], Sequence[Node]],
+    gen: Dict[Node, Set[Fact]],
+    kill: Dict[Node, Set[Fact]],
+    *,
+    direction: str = FORWARD,
+    meet: str = UNION,
+    boundary: Set[Fact] = frozenset(),
+    universe: Set[Fact] = frozenset(),
+    boundary_nodes: Set[Node] = frozenset(),
+) -> NodeSolution:
+    """The worklist fixpoint core, over arbitrary hashable CFG nodes.
+
+    ``order`` lists every node in a good iteration order (roughly topological
+    for forward problems; the solver reverses it for backward ones).
+    ``boundary_nodes`` receive the ``boundary`` facts on every meet (the
+    entry node forward, the exit nodes backward); a boundary node with
+    incoming edges — e.g. a loop back-edge into the entry — unions them in.
+    Both the flat-ISA :func:`solve` and the SSA mid-end's value liveness
+    (:mod:`repro.ir`) are clients of this core.
+    """
+    if direction == FORWARD:
+        edges = {n: list(successors(n)) for n in order}
     else:
-        edges = {b.start: [] for b in blocks}
-        for b in blocks:
-            for succ in b.successors:
-                edges[succ].append(b.start)
-    # ``sources[b]`` are the blocks whose solution meets into ``b``:
+        edges = {n: [] for n in order}
+        for n in order:
+            for succ in successors(n):
+                edges[succ].append(n)
+    # ``sources[n]`` are the nodes whose solution meets into ``n``:
     # predecessors for a forward problem, successors for a backward one.
-    sources: Dict[int, List[int]] = {b.start: [] for b in blocks}
+    sources: Dict[Node, List[Node]] = {n: [] for n in order}
     for start, outs in edges.items():
         for out in outs:
             sources[out].append(start)
 
-    gen: Dict[int, Set[Fact]] = {}
-    kill: Dict[int, Set[Fact]] = {}
-    for block in blocks:
-        gen[block.start], kill[block.start] = _block_gen_kill(problem, block)
+    is_intersect = meet == INTERSECT
+    boundary = set(boundary)
+    universe = set(universe) if is_intersect else set()
 
-    boundary = set(problem.boundary())
-    is_intersect = problem.meet == INTERSECT
-    universe = set(problem.universe()) if is_intersect else set()
-
-    def is_boundary_block(block: BasicBlock) -> bool:
-        if problem.direction == FORWARD:
-            return block.start == proc.start
-        return not block.successors
-
-    # meet-input and transfer-output per block, in solver orientation
-    # (forward: input = block entry; backward: input = block exit).
-    state_in: Dict[int, Set[Fact]] = {}
-    state_out: Dict[int, Set[Fact]] = {}
-    for block in blocks:
-        if is_boundary_block(block):
-            state_in[block.start] = set(boundary)
+    # meet-input and transfer-output per node, in solver orientation.
+    state_in: Dict[Node, Set[Fact]] = {}
+    state_out: Dict[Node, Set[Fact]] = {}
+    for n in order:
+        if n in boundary_nodes:
+            state_in[n] = set(boundary)
         else:
-            state_in[block.start] = set(universe) if is_intersect else set()
-        state_out[block.start] = gen[block.start] | (state_in[block.start] - kill[block.start])
+            state_in[n] = set(universe) if is_intersect else set()
+        state_out[n] = gen[n] | (state_in[n] - kill[n])
 
-    order = blocks if problem.direction == FORWARD else list(reversed(blocks))
+    sweep = list(order) if direction == FORWARD else list(reversed(list(order)))
     changed = True
     while changed:
         changed = False
-        for block in order:
-            preds = sources[block.start]
-            if is_boundary_block(block):
+        for n in sweep:
+            preds = sources[n]
+            if n in boundary_nodes:
                 merged = set(boundary)
                 for p in preds:
                     merged |= state_out[p]  # e.g. loop back-edges into the entry block
@@ -150,13 +172,42 @@ def solve(program: Program, proc: Procedure, problem: DataflowProblem) -> Datafl
                     for p in preds:
                         merged |= state_out[p]
             else:
-                # Unreachable (forward) or exitless-loop (backward) block.
+                # Unreachable (forward) or exitless-loop (backward) node.
                 merged = set(universe) if is_intersect else set()
-            new_out = gen[block.start] | (merged - kill[block.start])
-            if merged != state_in[block.start] or new_out != state_out[block.start]:
-                state_in[block.start] = merged
-                state_out[block.start] = new_out
+            new_out = gen[n] | (merged - kill[n])
+            if merged != state_in[n] or new_out != state_out[n]:
+                state_in[n] = merged
+                state_out[n] = new_out
                 changed = True
+    return NodeSolution(input=state_in, output=state_out)
+
+
+def solve(program: Program, proc: Procedure, problem: DataflowProblem) -> DataflowResult:
+    """Run the fixpoint and lower to instruction grain."""
+    blocks = program.basic_blocks(proc)
+
+    gen: Dict[int, Set[Fact]] = {}
+    kill: Dict[int, Set[Fact]] = {}
+    for block in blocks:
+        gen[block.start], kill[block.start] = _block_gen_kill(problem, block)
+
+    by_start = {b.start: b for b in blocks}
+    if problem.direction == FORWARD:
+        boundary_nodes = {proc.start} & set(by_start)
+    else:
+        boundary_nodes = {b.start for b in blocks if not b.successors}
+    solution = solve_nodes(
+        [b.start for b in blocks],
+        lambda start: by_start[start].successors,
+        gen,
+        kill,
+        direction=problem.direction,
+        meet=problem.meet,
+        boundary=set(problem.boundary()),
+        universe=set(problem.universe()),
+        boundary_nodes=boundary_nodes,
+    )
+    state_in = solution.input
 
     # Lower to instruction grain by replaying per-instruction transfers.
     in_facts: Dict[int, FrozenSet[Fact]] = {}

@@ -39,6 +39,9 @@ class Diagnostic:
     pc: Optional[int]
     procedure: str
     message: str
+    #: Source provenance ("block <label>, loop depth <d>") when the program
+    #: carries a source map from the IR lowerer; ``None`` for flat programs.
+    context: Optional[str] = field(default=None, compare=False)
 
     @property
     def is_error(self) -> bool:
@@ -46,7 +49,8 @@ class Diagnostic:
 
     def render(self) -> str:
         where = f"pc {self.pc}" if self.pc is not None else "-"
-        return f"{self.severity.value.upper():7s} {self.rule} [{self.procedure}:{where}] {self.message}"
+        suffix = f" ({self.context})" if self.context else ""
+        return f"{self.severity.value.upper():7s} {self.rule} [{self.procedure}:{where}] {self.message}{suffix}"
 
     def to_dict(self) -> Dict[str, object]:
         return {
@@ -55,6 +59,7 @@ class Diagnostic:
             "pc": self.pc,
             "procedure": self.procedure,
             "message": self.message,
+            "context": self.context,
         }
 
 

@@ -25,17 +25,18 @@ from typing import Dict, FrozenSet, List, Optional, Set, Tuple
 
 import networkx as nx
 
-from ..compiler.liveness import LivenessInfo, compute_liveness, defs_and_uses, explicit_uses
+from ..compiler.liveness import LivenessInfo, compute_liveness
 from ..isa.program import BasicBlock, Procedure, Program
-from ..isa.registers import F, R, Reg
+from ..isa.registers import Reg
 from .dataflow import FORWARD, INTERSECT, UNION, DataflowProblem, DataflowResult, solve
+from .effects import ALL_REGS as _ALL_REGS
+from .effects import defs_and_uses, explicit_uses
 
 #: A definition: (pc, reg); pc is None for the procedure-entry pseudo-def.
 DefId = Tuple[Optional[int], Reg]
 #: A copy fact: dst currently holds the same value as src.
 CopyFact = Tuple[Reg, Reg]
 
-_ALL_REGS: Tuple[Reg, ...] = tuple(r for r in R if not r.is_zero) + tuple(f for f in F if not f.is_zero)
 _COPY_OPS = ("mov", "fmov")
 
 

@@ -355,7 +355,7 @@ def _check_allocation(ctx: VerifyContext) -> Iterator[Diagnostic]:
 @rule("RVP008", Severity.ERROR, "loop-exclusive register shared by another definition in its loop")
 def _check_loop_exclusive(ctx: VerifyContext) -> Iterator[Diagnostic]:
     # Lazy import for the same acyclicity reason as RVP007.
-    from ..compiler.liveness import defs_and_uses
+    from .effects import defs_and_uses
 
     for pc in sorted(ctx.lvr_pcs):
         if not 0 <= pc < len(ctx.program):
@@ -399,7 +399,12 @@ def _check_spills(ctx: VerifyContext) -> Iterator[Diagnostic]:
 # ----------------------------------------------------------------------
 def _diag(ctx: VerifyContext, rule_id: str, severity: Severity, pc: Optional[int], message: str) -> Diagnostic:
     proc = ctx.proc_name(pc) if pc is not None and 0 <= pc < len(ctx.program) else "-"
-    return Diagnostic(rule=rule_id, severity=severity, pc=pc, procedure=proc, message=message)
+    context = None
+    if pc is not None and ctx.program.source_map is not None:
+        loc = ctx.program.source_map.get(pc)
+        if loc is not None:
+            context = f"block {loc.block}, loop depth {loc.loop_depth}"
+    return Diagnostic(rule=rule_id, severity=severity, pc=pc, procedure=proc, message=message, context=context)
 
 
 def verify_program(

@@ -1,19 +1,10 @@
 """Per-procedure liveness dataflow.
 
-Definitions and uses follow the calling convention the paper assumes in
-Section 7.3: *all non-volatile registers are live at procedure entrance and
-exit, and each procedure call uses all argument registers*.  Concretely:
-
-* ``jsr``  — explicitly defines its link register; implicitly *uses* the
-  argument registers (int and fp) and the stack pointer, and implicitly
-  *defines* every volatile register (the callee may clobber them).
-* ``ret`` / ``jmp`` / ``halt`` (procedure exits) — implicitly use every
-  non-volatile register plus the stack pointer.
-* procedure entry — implicitly defines every register (arguments,
-  caller-saved garbage, callee-saved values all "arrive" here).
-
-Implicit defs/uses are what pins boundary-crossing webs to their original
-registers during reallocation.
+Per-instruction definitions and uses — including the Section 7.3
+calling-convention implicit effects — come from the canonical
+:mod:`repro.analysis.effects` module; this module layers the backward
+dataflow on top of them.  Implicit defs/uses are what pins
+boundary-crossing webs to their original registers during reallocation.
 
 Liveness itself is an instance of the shared CFG dataflow engine
 (:mod:`repro.analysis.dataflow`): a backward *may* (union) problem with
@@ -28,47 +19,18 @@ from dataclasses import dataclass
 from typing import Dict, FrozenSet, Set, Tuple
 
 from ..analysis.dataflow import BACKWARD, UNION, DataflowProblem, solve
-from ..isa.instructions import Instruction
-from ..isa.opcodes import OpKind
-from ..isa.program import Procedure, Program
-from ..isa.registers import (
-    ARG_REGS,
-    CALLEE_SAVED_FP,
-    CALLEE_SAVED_INT,
-    F,
-    FP_ARG_REGS,
-    R,
-    STACK_POINTER,
-    Reg,
-    is_volatile,
+from ..analysis.effects import (
+    ALL_REGS as _ALL_REGS,
+    CALL_USES as _CALL_USES,
+    EXIT_USES as _EXIT_USES,
+    NONVOLATILES as _NONVOLATILES,
+    VOLATILES as _VOLATILES,
+    defs_and_uses,
+    explicit_defs,
+    explicit_uses,
 )
-
-_ALL_REGS: Tuple[Reg, ...] = tuple(r for r in R if not r.is_zero) + tuple(f for f in F if not f.is_zero)
-_VOLATILES: Tuple[Reg, ...] = tuple(r for r in _ALL_REGS if is_volatile(r))
-_NONVOLATILES: Tuple[Reg, ...] = tuple(r for r in _ALL_REGS if not is_volatile(r))
-_CALL_USES: FrozenSet[Reg] = frozenset(ARG_REGS) | frozenset(FP_ARG_REGS) | {STACK_POINTER}
-_EXIT_USES: FrozenSet[Reg] = frozenset(_NONVOLATILES) | {STACK_POINTER}
-
-
-def explicit_defs(inst: Instruction) -> Tuple[Reg, ...]:
-    dst = inst.writes
-    return (dst,) if dst is not None else ()
-
-
-def explicit_uses(inst: Instruction) -> Tuple[Reg, ...]:
-    return tuple(r for r in inst.reads if not r.is_zero)
-
-
-def defs_and_uses(inst: Instruction) -> Tuple[Set[Reg], Set[Reg]]:
-    """(defs, uses) including calling-convention implicit effects."""
-    defs = set(explicit_defs(inst))
-    uses = set(explicit_uses(inst))
-    if inst.op.kind is OpKind.CALL:
-        uses |= _CALL_USES
-        defs |= set(_VOLATILES)
-    elif inst.op.kind in (OpKind.INDIRECT, OpKind.HALT):
-        uses |= _EXIT_USES
-    return defs, uses
+from ..isa.program import Procedure, Program
+from ..isa.registers import Reg
 
 
 class LivenessProblem(DataflowProblem):

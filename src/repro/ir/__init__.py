@@ -1,0 +1,92 @@
+"""SSA compiler mid-end: programmatic IR, passes, and lowering.
+
+The package splits into layers:
+
+* :mod:`repro.ir.nodes` — the data model (values, phis, blocks, functions);
+* :mod:`repro.ir.ssa` — raising flat programs and SSA construction;
+* :mod:`repro.ir.liveness` — tick-grain value liveness;
+* :mod:`repro.ir.regalloc` — coalescing, colouring (reusing the flat
+  Chaitin–Briggs machinery) and spilling;
+* :mod:`repro.ir.lower` — SSA destruction and emission back to the flat ISA;
+* :mod:`repro.ir.builder` — the programmatic front end;
+* :mod:`repro.ir.passes` / :mod:`repro.ir.pipeline` — the RVP passes
+  rebuilt on SSA, plus flat-entry wrappers (raise -> pass -> lower);
+* :mod:`repro.ir.equiv` — trace-equivalence checking for round trips.
+"""
+
+from .builder import IRBuilder
+from .equiv import EquivalenceReport, check_equivalence, roundtrip
+from .liveness import ENTRY_TICK, ValueLiveness, value_liveness
+from .lower import FunctionConstraints, LoweringResult, lower_module, sequence_copies
+from .nodes import (
+    FP,
+    INT,
+    Block,
+    IRError,
+    IRFunction,
+    IRInstr,
+    IRModule,
+    Phi,
+    Value,
+    VReg,
+    verify_ssa,
+)
+from .passes import (
+    StridePlan,
+    insert_after_instr,
+    mark_rvp_loads,
+    origin_index,
+    plan_reallocation,
+    plan_stride_shadows,
+)
+from .pipeline import (
+    apply_stride_pass_ssa,
+    insert_after_ssa,
+    mark_static_rvp_ssa,
+    reallocate_ssa,
+)
+from .regalloc import SPILL_BASE, SPILL_END, AllocationResult, SpillSlots, allocate
+from .ssa import arch_vreg, raise_program, to_ssa
+
+__all__ = [
+    "IRBuilder",
+    "EquivalenceReport",
+    "check_equivalence",
+    "roundtrip",
+    "ENTRY_TICK",
+    "ValueLiveness",
+    "value_liveness",
+    "FunctionConstraints",
+    "LoweringResult",
+    "lower_module",
+    "sequence_copies",
+    "FP",
+    "INT",
+    "Block",
+    "IRError",
+    "IRFunction",
+    "IRInstr",
+    "IRModule",
+    "Phi",
+    "Value",
+    "VReg",
+    "verify_ssa",
+    "StridePlan",
+    "insert_after_instr",
+    "mark_rvp_loads",
+    "origin_index",
+    "plan_reallocation",
+    "plan_stride_shadows",
+    "apply_stride_pass_ssa",
+    "insert_after_ssa",
+    "mark_static_rvp_ssa",
+    "reallocate_ssa",
+    "SPILL_BASE",
+    "SPILL_END",
+    "AllocationResult",
+    "SpillSlots",
+    "allocate",
+    "arch_vreg",
+    "raise_program",
+    "to_ssa",
+]

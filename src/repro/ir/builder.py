@@ -1,0 +1,162 @@
+"""Programmatic IR front end.
+
+:class:`IRBuilder` grows an :class:`~repro.ir.nodes.IRModule` function by
+function and block by block, with opcode-named emitters generated from the
+opcode table (``f.add(dst, a, b)``, ``f.ld(dst, base, off)``,
+``f.beq(cond, "loop")``, ...).  Operands are *virtual registers*: either
+architectural (:func:`reg`, carrying a register preference the allocator
+honours when it can) or named temporaries (:meth:`FunctionBuilder.var`)
+that exist only in the IR and receive a register during lowering — spilling
+to memory if pressure demands it.  Multiple assignments to one vreg are
+fine; SSA construction (:func:`~repro.ir.ssa.to_ssa`) splits them into
+values and places the phis.
+
+Typical shape::
+
+    b = IRBuilder("dotprod")
+    f = b.function("main")
+    i, acc = f.var("i"), f.var("acc")
+    f.li(i, 0)
+    f.li(acc, 0)
+    f.block("loop")
+    ...
+    f.bne(cond, "loop")
+    f.halt()
+    program = b.lower().program
+
+Calling-convention contracts are expressed with architectural vregs: pass
+arguments in ``ARG_REGS``, return through ``RETURN_VALUE``, and SSA
+renaming pins those values exactly as it does for raised programs.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Union
+
+from ..isa.opcodes import OPCODES, OpKind
+from ..isa.program import Program
+from ..isa.registers import Reg
+from .lower import LoweringResult, lower_module
+from .nodes import FP, INT, IRError, IRFunction, IRInstr, IRModule, VReg
+from .ssa import arch_vreg, to_ssa
+
+BuildOperand = Union[VReg, Reg, None]
+
+
+def _coerce(operand: BuildOperand) -> Optional[object]:
+    if operand is None:
+        return None
+    if isinstance(operand, VReg):
+        return operand
+    if isinstance(operand, Reg):
+        return operand if operand.is_zero else arch_vreg(operand)
+    raise IRError(f"bad operand {operand!r}: pass a VReg, a Reg, or use imm= for literals")
+
+
+class FunctionBuilder:
+    """Emission context for one function; blocks append in layout order."""
+
+    def __init__(self, func: IRFunction) -> None:
+        self.func = func
+        self._temps: Dict[str, VReg] = {}
+        self._current = None
+
+    # ------------------------------------------------------------------
+    # Operands and blocks
+    # ------------------------------------------------------------------
+    def var(self, name: str, kind: str = INT) -> VReg:
+        """A named temporary vreg (no architectural home until allocation)."""
+        existing = self._temps.get(name)
+        if existing is not None:
+            if existing.kind != kind:
+                raise IRError(f"temporary {name!r} already declared as {existing.kind}")
+            return existing
+        vreg = VReg(name=f"%{name}", kind=kind)
+        self._temps[name] = vreg
+        return vreg
+
+    def block(self, label: str) -> str:
+        """Start (or restart emission into) a new block; returns its label."""
+        self._current = self.func.add_block(label)
+        return label
+
+    def _here(self):
+        if self._current is None:
+            self.block(self.func.name if not self.func.blocks else f"{self.func.name}__b{len(self.func.blocks)}")
+        return self._current
+
+    def emit(
+        self,
+        op: str,
+        dst: BuildOperand = None,
+        src1: BuildOperand = None,
+        src2: BuildOperand = None,
+        imm: Optional[int] = None,
+        target: Optional[str] = None,
+    ) -> IRInstr:
+        instr = IRInstr(op, dst=_coerce(dst), src1=_coerce(src1), src2=_coerce(src2), imm=imm, target=target)
+        self._here().instrs.append(instr)
+        return instr
+
+    # ------------------------------------------------------------------
+    # Opcode-named emitters (f.add, f.ld, f.beq, ... from the opcode table)
+    # ------------------------------------------------------------------
+    def __getattr__(self, name: str):
+        op = OPCODES.get(name)
+        if op is None:
+            raise AttributeError(name)
+        kind = op.kind
+
+        if kind is OpKind.ALU:
+            if name in ("li", "fli"):
+                return lambda dst, imm: self.emit(name, dst=dst, imm=imm)
+
+            def alu(dst, src1, src2=None):
+                if isinstance(src2, int):
+                    return self.emit(name, dst=dst, src1=src1, imm=src2)
+                return self.emit(name, dst=dst, src1=src1, src2=src2)
+
+            return alu
+        if kind is OpKind.LOAD:
+            return lambda dst, base, off=0: self.emit(name, dst=dst, src1=base, imm=off)
+        if kind is OpKind.STORE:
+            return lambda value, base, off=0: self.emit(name, src2=value, src1=base, imm=off)
+        if kind is OpKind.BRANCH:
+            return lambda src, label: self.emit(name, src1=src, target=label)
+        if kind is OpKind.JUMP:
+            return lambda label: self.emit(name, target=label)
+        if kind is OpKind.CALL:
+            return lambda dst, func_name: self.emit(name, dst=dst, target=func_name)
+        if kind is OpKind.INDIRECT:
+            return lambda addr: self.emit(name, src1=addr)
+        return lambda: self.emit(name)  # HALT / NOP
+
+
+class IRBuilder:
+    """Builds an :class:`IRModule`; ``lower()`` produces the flat program."""
+
+    def __init__(self, name: str) -> None:
+        self.module = IRModule(name=name)
+        self._builders: List[FunctionBuilder] = []
+        self._built = False
+
+    def function(self, name: str) -> FunctionBuilder:
+        fb = FunctionBuilder(self.module.add_function(name))
+        self._builders.append(fb)
+        return fb
+
+    def build(self) -> IRModule:
+        """Finish construction: convert every function to SSA (idempotent)."""
+        if not self._built:
+            for func in self.module.functions:
+                if not func.blocks:
+                    raise IRError(f"function {func.name} has no blocks")
+                to_ssa(func)
+            self._built = True
+        return self.module
+
+    def lower(self, **kwargs) -> LoweringResult:
+        return lower_module(self.build(), **kwargs)
+
+    def program(self, **kwargs) -> Program:
+        return self.lower(**kwargs).program

@@ -1,0 +1,143 @@
+"""Trace-equivalence checking for IR round trips.
+
+A lowered program is *equivalent* to its source when, run on the decoded
+execution engine from identical initial memory:
+
+* both halt (or both exhaust the budget at the same committed count);
+* the committed records that originate from source instructions align 1:1,
+  in order, with the source run's records, agreeing on result value,
+  effective address, stored value and branch direction (``origin_pc`` keys
+  the alignment — absolute pcs shift when copies are inserted);
+* every *inserted* record (parallel copies, spill traffic — ``origin_pc``
+  is ``None``) touches memory only inside the reserved spill region;
+* final memories agree word-for-word outside the spill region.
+
+Register numbering is deliberately **not** compared: reallocation renames
+registers while preserving all of the above, and that is the whole point.
+This is the same observational-projection idea as the PR 3 pass-preservation
+oracle (:func:`repro.testing.oracles.check_pass_preservation`), extended
+across the pc shift a lowering introduces.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Dict, Optional, Tuple
+
+from ..isa.program import Program
+from ..sim.functional import RunResult, run_program
+from ..sim.memory import Memory
+from ..sim.trace import TraceRecord
+from .lower import LoweringResult, lower_module
+from .regalloc import SPILL_BASE, SPILL_END
+from .ssa import raise_program
+
+#: Committed-instruction budget for one equivalence run.
+MAX_INSTRUCTIONS = 200_000
+
+
+class EquivalenceError(AssertionError):
+    """A lowered program diverged observably from its source."""
+
+
+@dataclass
+class EquivalenceReport:
+    ok: bool
+    original_committed: int = 0
+    lowered_committed: int = 0
+    #: Committed copies/spill instructions (no ``origin_pc``).
+    inserted_committed: int = 0
+    mismatch: str = ""
+
+    def raise_if_failed(self) -> "EquivalenceReport":
+        if not self.ok:
+            raise EquivalenceError(self.mismatch)
+        return self
+
+
+def _in_spill_region(addr: Optional[int]) -> bool:
+    return addr is not None and SPILL_BASE <= addr < SPILL_END
+
+
+def _projection(record: TraceRecord) -> Tuple:
+    return (record.result, record.addr, record.store_value, record.taken)
+
+
+def _masked_memory(memory: Memory) -> Dict[int, int]:
+    return {addr: word for addr, word in memory.nonzero_words() if not _in_spill_region(addr)}
+
+
+def check_equivalence(
+    original: Program,
+    lowering: LoweringResult,
+    memory_factory: Callable[[], Memory],
+    *,
+    max_instructions: int = MAX_INSTRUCTIONS,
+) -> EquivalenceReport:
+    """Run both programs and compare their observable behaviour."""
+
+    def fail(message: str, **counts: int) -> EquivalenceReport:
+        return EquivalenceReport(ok=False, mismatch=message, **counts)
+
+    base: RunResult = run_program(
+        original, memory=memory_factory(), max_instructions=max_instructions, collect_trace=True
+    )
+    new: RunResult = run_program(
+        lowering.program, memory=memory_factory(), max_instructions=max_instructions, collect_trace=True
+    )
+    counts = dict(original_committed=base.instructions, lowered_committed=new.instructions)
+
+    if base.halted != new.halted:
+        return fail(f"halt status diverges: original {base.halted}, lowered {new.halted}", **counts)
+
+    origin_records = []
+    inserted = 0
+    for record in new.trace:
+        origin = lowering.pc_origin.get(record.pc)
+        if origin is None:
+            inserted += 1
+            if record.store_value is not None and not _in_spill_region(record.addr):
+                return fail(
+                    f"inserted instruction at pc {record.pc} stores outside the spill region "
+                    f"(addr {record.addr:#x})",
+                    **counts,
+                )
+            continue
+        origin_records.append((origin, record))
+    counts["inserted_committed"] = inserted
+
+    if len(origin_records) != len(base.trace):
+        return fail(
+            f"source-originated commits diverge: original {len(base.trace)}, lowered {len(origin_records)}",
+            **counts,
+        )
+    for expected, (origin, got) in zip(base.trace, origin_records):
+        if origin != expected.pc:
+            return fail(
+                f"commit order diverges at seq {expected.seq}: expected origin pc {expected.pc}, got {origin}",
+                **counts,
+            )
+        if _projection(expected) != _projection(got):
+            return fail(
+                f"observables diverge at origin pc {expected.pc} (seq {expected.seq}): "
+                f"{_projection(expected)} != {_projection(got)}",
+                **counts,
+            )
+
+    if _masked_memory(base.memory) != _masked_memory(new.memory):
+        return fail("final memory diverges outside the spill region", **counts)
+
+    return EquivalenceReport(ok=True, **counts)
+
+
+def roundtrip(
+    program: Program,
+    memory_factory: Callable[[], Memory],
+    *,
+    max_instructions: int = MAX_INSTRUCTIONS,
+) -> Tuple[LoweringResult, EquivalenceReport]:
+    """Raise ``program`` to SSA, lower it back, and check equivalence."""
+    module = raise_program(program)
+    lowering = lower_module(module)
+    report = check_equivalence(program, lowering, memory_factory, max_instructions=max_instructions)
+    return lowering, report

@@ -1,0 +1,173 @@
+"""SSA value liveness with half-point (tick) live ranges.
+
+Runs the shared fixpoint core (:func:`repro.analysis.dataflow.solve_nodes`)
+over an *augmented* CFG: one node per block plus one node per edge.  Edge
+nodes model phi semantics as parallel copies at the end of the predecessor —
+an edge node *generates* the phi arguments flowing along that edge and
+*kills* the phi destinations — so a phi destination is born on its incoming
+edges and never leaks above them, and a phi argument dies at the edge unless
+also live into the successor.
+
+Live ranges are sets of **ticks**: instruction position ``p`` contributes an
+*in* tick ``2p`` (operands read) and an *out* tick ``2p + 1`` (result
+written).  A value defined at ``p`` starts at ``2p + 1``; a value last used
+at ``p`` ends at ``2p``.  Two values interfere iff their tick sets overlap —
+which makes ``b := op a`` coalescable with ``a`` (the flat web model's
+same-pc conservatism would forbid it, and with it the register-preserving
+round trip).  Each CFG edge also owns one position for its parallel copy,
+so phi destinations interfere with everything live across the edge.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Set, Tuple
+
+from ..analysis.dataflow import BACKWARD, UNION, solve_nodes
+from .nodes import Block, IRFunction, IRInstr, Value
+
+#: Synthetic tick for the function-entry pseudo-definitions.
+ENTRY_TICK = -1
+
+
+def instr_values(instr: IRInstr) -> Tuple[List[Value], List[Value]]:
+    """(defs, uses) of ``instr`` in the Value domain, implicit ones included."""
+    defs: List[Value] = []
+    uses: List[Value] = [op for op in instr.used if isinstance(op, Value)]
+    if isinstance(instr.defined, Value):
+        defs.append(instr.defined)
+    defs.extend(instr.implicit_defs)
+    uses.extend(instr.implicit_uses)
+    return defs, uses
+
+
+@dataclass
+class ValueLiveness:
+    """Tick-grain liveness for one SSA function."""
+
+    func: IRFunction
+    #: vid -> ticks at which the value is live (def ticks included).
+    ticks: Dict[int, Set[int]] = field(default_factory=dict)
+    #: vid -> Value for every value seen.
+    values: Dict[int, Value] = field(default_factory=dict)
+    #: (pred_label, succ_label) -> the edge's copy position.
+    edge_pos: Dict[Tuple[str, str], int] = field(default_factory=dict)
+    #: block label -> position of each of its instructions, in order.
+    positions: Dict[str, List[int]] = field(default_factory=dict)
+
+    def overlap(self, vids_a: Set[int], vids_b: Set[int]) -> bool:
+        a: Set[int] = set()
+        for vid in vids_a:
+            a |= self.ticks.get(vid, set())
+        for vid in vids_b:
+            if a & self.ticks.get(vid, set()):
+                return True
+        return False
+
+
+def value_liveness(func: IRFunction) -> ValueLiveness:
+    result = ValueLiveness(func)
+
+    def note(value: Value) -> None:
+        result.values.setdefault(value.vid, value)
+
+    # --- positions ------------------------------------------------------
+    pos = 0
+    for block in func.blocks:
+        block_positions: List[int] = []
+        for _ in block.instrs:
+            block_positions.append(pos)
+            pos += 1
+        result.positions[block.label] = block_positions
+    edges: List[Tuple[str, str]] = []
+    for block in func.blocks:
+        for succ in func.successors(block):
+            edges.append((block.label, succ))
+    for edge in edges:
+        result.edge_pos[edge] = pos
+        pos += 1
+
+    # --- block and edge gen/kill over values ----------------------------
+    gen: Dict[object, Set[int]] = {}
+    kill: Dict[object, Set[int]] = {}
+    for block in func.blocks:
+        g: Set[int] = set()
+        k: Set[int] = set()
+        for instr in reversed(block.instrs):
+            defs, uses = instr_values(instr)
+            dv = {v.vid for v in defs}
+            uv = {v.vid for v in uses}
+            for v in defs + uses:
+                note(v)
+            g = uv | (g - dv)
+            k = (k | dv) - uv
+        gen[block.label], kill[block.label] = g, k
+    phi_dsts: Dict[str, Set[int]] = {}
+    for block in func.blocks:
+        phi_dsts[block.label] = {phi.dst.vid for phi in block.phis}
+        for phi in block.phis:
+            note(phi.dst)
+            for arg in phi.args.values():
+                note(arg)
+    for pred, succ in edges:
+        args = {phi.args[pred].vid for phi in func.block(succ).phis}
+        gen[(pred, succ)] = args
+        kill[(pred, succ)] = phi_dsts[succ] - args
+
+    # --- fixpoint over the augmented graph ------------------------------
+    node_order: List[object] = [b.label for b in func.blocks] + list(edges)
+    succ_map: Dict[object, List[object]] = {}
+    for block in func.blocks:
+        succ_map[block.label] = [(block.label, s) for s in func.successors(block)]
+    for pred, succ in edges:
+        succ_map[(pred, succ)] = [succ]
+    solution = solve_nodes(
+        node_order,
+        lambda node: succ_map[node],
+        gen,
+        kill,
+        direction=BACKWARD,
+        meet=UNION,
+        boundary_nodes={b.label for b in func.blocks if not succ_map[b.label]},
+    )
+
+    ticks = result.ticks
+
+    def mark(vid: int, tick: int) -> None:
+        ticks.setdefault(vid, set()).add(tick)
+
+    # --- per-position ranges inside blocks ------------------------------
+    for block in func.blocks:
+        live: Set[int] = set(solution.input[block.label])  # at block exit
+        for instr, p in zip(reversed(block.instrs), reversed(result.positions[block.label])):
+            defs, uses = instr_values(instr)
+            out_tick, in_tick = 2 * p + 1, 2 * p
+            for vid in live:
+                mark(vid, out_tick)
+            for v in defs:
+                mark(v.vid, out_tick)
+                live.discard(v.vid)
+            for v in uses:
+                live.add(v.vid)
+            for vid in live:
+                mark(vid, in_tick)
+
+    # --- edge copy positions --------------------------------------------
+    for pred, succ in edges:
+        p = result.edge_pos[(pred, succ)]
+        out_tick, in_tick = 2 * p + 1, 2 * p
+        live_after = set(solution.output[succ])  # live-in of the successor
+        live_after |= phi_dsts[succ]
+        for vid in live_after:
+            mark(vid, out_tick)
+        live_before = (live_after - phi_dsts[succ]) | gen[(pred, succ)]
+        for vid in live_before:
+            mark(vid, in_tick)
+
+    # --- entry pseudo-definitions ---------------------------------------
+    for value in func.entry_values:
+        note(value)
+        mark(value.vid, ENTRY_TICK)
+    for vid, value in result.values.items():
+        ticks.setdefault(vid, set())
+    return result

@@ -1,0 +1,356 @@
+"""RVP compiler passes at the SSA level.
+
+On SSA, the structures the flat passes had to *reconstruct* are simply
+there: a web is a coalesce class of values (built for free during
+allocation), interference is tick-set overlap, and "recolour this web to
+that register" becomes a live-range merge request handed to the allocator.
+This module holds the IR-level primitives; the flat-facing entry points
+with report/verifier parity live in :mod:`repro.ir.pipeline`.
+
+* :func:`origin_index` — find raised instructions by their flat pc.
+* :func:`mark_rvp_loads` — opcode swap ``ld``/``fld`` -> ``rvp_*``.
+* :func:`insert_after_instr` — IR-native insertion (block-local, used by
+  the stride shadow pass and mirrored by the spiller).
+* :func:`plan_stride_shadows` — per-function shadow-value budgeting: a
+  shadow is a fresh value made *exclusive* against every same-kind class,
+  which is exactly the flat pass's "register the procedure never touches"
+  expressed as interference instead of a register scan.
+* :func:`plan_reallocation` — Section 7.3 on SSA: dead-register reuse as
+  coalescing (``merge producer-class into load-dest-class``), last-value
+  exclusivity as conflict edges against every class defined in the loop.
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, List, Optional, Set, Tuple
+
+from ..compiler.realloc import ReallocReport
+from ..isa.opcodes import RVP_TWIN, opcode
+from ..isa.program import Program
+from ..isa.registers import ALLOCATABLE_FP, ALLOCATABLE_INT
+from ..profiling.lists import ProfileLists
+from .nodes import INT, Block, IRError, IRFunction, IRInstr, IRModule, Value
+from .regalloc import SpillSlots, allocate, textual_vids
+
+_POOLS = {"int": ALLOCATABLE_INT, "fp": ALLOCATABLE_FP}
+
+
+@dataclass
+class OriginSite:
+    func: IRFunction
+    block: Block
+    instr: IRInstr
+
+
+def origin_index(module: IRModule) -> Dict[int, OriginSite]:
+    """Map every carried flat pc to its raised instruction."""
+    index: Dict[int, OriginSite] = {}
+    for func in module.functions:
+        for block in func.blocks:
+            for instr in block.instrs:
+                if instr.origin_pc is not None:
+                    index[instr.origin_pc] = OriginSite(func, block, instr)
+    return index
+
+
+def mark_rvp_loads(module: IRModule, pcs: Iterable[int]) -> int:
+    """Swap the rvp opcode twin onto the loads raised from ``pcs``."""
+    index = origin_index(module)
+    marked = 0
+    for pc in sorted(set(pcs)):
+        site = index.get(pc)
+        if site is None or site.instr.op.name not in RVP_TWIN:
+            continue
+        site.instr.op = opcode(RVP_TWIN[site.instr.op.name])
+        marked += 1
+    return marked
+
+
+def insert_after_instr(block: Block, anchor: IRInstr, new_instrs: List[IRInstr]) -> None:
+    """Insert ``new_instrs`` immediately after ``anchor`` in ``block``."""
+    for pos, instr in enumerate(block.instrs):
+        if instr is anchor:
+            block.instrs[pos + 1 : pos + 1] = new_instrs
+            return
+    raise IRError(f"anchor instruction {anchor!r} not in block {block.label}")
+
+
+# ----------------------------------------------------------------------
+# Stride shadows (paper Section 3 "Et Cetera")
+# ----------------------------------------------------------------------
+@dataclass
+class StridePlan:
+    #: origin pc -> (shadow value, inserted add) for every applied stride.
+    shadows: Dict[int, Tuple[Value, IRInstr]] = field(default_factory=dict)
+    #: per-function exclusive vids for the allocator.
+    exclusive: Dict[str, List[int]] = field(default_factory=dict)
+    attempted: int = 0
+    applied: int = 0
+    no_free_register: int = 0
+    not_writable: int = 0
+
+
+def _free_register_budget(func: IRFunction, kind: str = "int") -> int:
+    """How many ``kind`` registers no *textual* value class of ``func`` uses.
+
+    Conventional pass-through values (entry/call/exit pins of registers the
+    function never names) do not count as occupancy — the flat pass scans
+    the procedure text for untouched registers, and the budget must agree.
+    """
+    base = allocate(func, SpillSlots(), spill=False)
+    if not base.ok:
+        raise IRError(base.failure)
+    textual = textual_vids(func)
+    taken = {
+        reg
+        for vid, reg in base.reg_of.items()
+        if vid in textual and base.liveness.values[vid].kind == kind
+    }
+    return sum(1 for reg in _POOLS[kind] if reg not in taken)
+
+
+def plan_stride_shadows(module: IRModule, strides: Dict[int, int]) -> StridePlan:
+    """Insert ``add shadow, dst, #delta`` after each strided instruction.
+
+    The shadow is a fresh value with no uses, made exclusive against every
+    same-kind class, so the allocator parks it in a register nothing else
+    in the function occupies — the flat pass's untouched-register rule,
+    derived from interference.  Budgeting mirrors the flat pass: strides
+    beyond the function's free-register count are dropped in pc order.
+    """
+    plan = StridePlan()
+    index = origin_index(module)
+    budget: Dict[str, int] = {}
+    for pc, delta in sorted(strides.items()):
+        plan.attempted += 1
+        site = index.get(pc)
+        dst = site.instr.defined if site is not None else None
+        if not isinstance(dst, Value) or dst.kind != INT:
+            # FP strides would need an fp-immediate add the ISA lacks; see
+            # the flat pass for the same exclusion.
+            plan.not_writable += 1
+            continue
+        func = site.func
+        if func.name not in budget:
+            budget[func.name] = _free_register_budget(func)
+        if budget[func.name] <= 0:
+            plan.no_free_register += 1
+            continue
+        budget[func.name] -= 1
+        shadow = func.new_value(INT)
+        shadow.no_spill = True
+        add = IRInstr("add", dst=shadow, src1=dst, imm=delta)
+        insert_after_instr(site.block, site.instr, [add])
+        plan.shadows[pc] = (shadow, add)
+        plan.exclusive.setdefault(func.name, []).append(shadow.vid)
+        plan.applied += 1
+    return plan
+
+
+def drop_stride_shadow(module: IRModule, plan: StridePlan, pc: int) -> None:
+    """Back out one planned shadow (allocator found no register after all)."""
+    shadow, add = plan.shadows.pop(pc)
+    for func in module.functions:
+        for block in func.blocks:
+            if add in block.instrs:
+                block.instrs.remove(add)
+                plan.exclusive[func.name].remove(shadow.vid)
+                plan.applied -= 1
+                plan.no_free_register += 1
+                return
+    raise IRError(f"shadow add for pc {pc} vanished")
+
+
+# ----------------------------------------------------------------------
+# Section 7.3 reallocation as live-range merging
+# ----------------------------------------------------------------------
+@dataclass
+class PhiWebs:
+    """Phi-congruence classes — the SSA analogue of the flat pass's webs.
+
+    The allocator's *coalesce classes* additionally merge tick-disjoint
+    values of the same architectural register (so an unconstrained
+    allocation reproduces the input), but for candidate classification that
+    is too coarse: two independent webs of ``r5`` must still count as
+    distinct definitions, exactly as :mod:`repro.compiler.webs` sees them.
+    """
+
+    web_of: Dict[int, int]  # vid -> web leader vid
+    ticks: Dict[int, Set[int]]  # leader -> union of member liveness ticks
+    pin: Dict[int, Optional[object]]  # leader -> calling-convention pin
+
+
+def phi_webs(func: IRFunction) -> PhiWebs:
+    from .liveness import value_liveness
+
+    liveness = value_liveness(func)
+    root = {vid: vid for vid in liveness.values}
+
+    def find(vid: int) -> int:
+        while root[vid] != vid:
+            root[vid] = root[root[vid]]
+            vid = root[vid]
+        return vid
+
+    for block in func.blocks:
+        for phi in block.phis:
+            for arg in phi.args.values():
+                a, b = find(phi.dst.vid), find(arg.vid)
+                if a != b:
+                    root[b] = a
+
+    webs = PhiWebs(web_of={}, ticks={}, pin={})
+    for vid, value in liveness.values.items():
+        leader = find(vid)
+        webs.web_of[vid] = leader
+        webs.ticks.setdefault(leader, set()).update(liveness.ticks.get(vid, ()))
+        webs.pin[leader] = webs.pin.get(leader) or value.pin
+    return webs
+
+
+@dataclass
+class _MergeCandidate:
+    pc: int
+    keep_vid: int  # the producer value (its register affinity wins)
+    other_vid: int  # the candidate's destination value
+    other_web: int  # phi web of the destination
+    hint_reg: object
+    critical: int
+
+
+@dataclass
+class _ExclusivityCandidate:
+    pc: int
+    def_vid: int
+    def_web: int  # phi web of the definition
+    loop_depth: int
+    other_vids: List[int]
+    critical: int
+
+
+@dataclass
+class ReallocPlan:
+    """Per-function constraints plus the bookkeeping to prune them."""
+
+    merges: List[_MergeCandidate] = field(default_factory=list)
+    lvr: List[_ExclusivityCandidate] = field(default_factory=list)
+    report: ReallocReport = field(default_factory=ReallocReport)
+
+
+def plan_reallocation(
+    program: Program,
+    module: IRModule,
+    lists: ProfileLists,
+    critical: Optional[Counter] = None,
+    loads_only: bool = False,
+) -> Dict[str, ReallocPlan]:
+    """Build merge/exclusivity candidates for every function.
+
+    Classification mirrors the flat pass exactly (same report fields, same
+    abandon conditions); legality is finer because tick-grain class overlap
+    replaces whole-instruction web interference.
+    """
+    critical = critical or Counter()
+    index = origin_index(module)
+    plans: Dict[str, ReallocPlan] = {f.name: ReallocPlan() for f in module.functions}
+    webs: Dict[str, PhiWebs] = {f.name: phi_webs(f) for f in module.functions}
+
+    def def_value(pc: int) -> Tuple[Optional[OriginSite], Optional[Value]]:
+        site = index.get(pc)
+        if site is None:
+            return None, None
+        dst = site.instr.defined
+        return site, dst if isinstance(dst, Value) else None
+
+    # --- dead-register reuse: coalesce producer into destination ---------
+    for pc, hint in sorted(lists.dead.items()):
+        site, dst = def_value(pc)
+        if site is None:
+            continue
+        if loads_only and not program[pc].is_load:
+            continue
+        if pc in lists.same:
+            continue  # already reusing; nothing to do
+        plan = plans[site.func.name]
+        web = webs[site.func.name]
+        plan.report.dead_attempted += 1
+        if dst is None or web.pin[web.web_of[dst.vid]] is not None:
+            plan.report.dead_foreign += 1
+            continue
+        src_site, src = (None, None) if hint.producer_pc is None else def_value(hint.producer_pc)
+        if src_site is None or src_site.func is not site.func:
+            plan.report.dead_foreign += 1  # produced in another procedure
+            continue
+        if (
+            src is None
+            or web.pin[web.web_of[src.vid]] is not None
+            or src.kind != dst.kind
+            or (src.vreg.reg if src.vreg else None) != hint.reg
+            or web.web_of[src.vid] == web.web_of[dst.vid]
+        ):
+            plan.report.dead_foreign += 1
+            continue
+        if web.ticks[web.web_of[src.vid]] & web.ticks[web.web_of[dst.vid]]:
+            plan.report.dead_conflicting += 1  # live ranges conflict
+            continue
+        plan.merges.append(
+            _MergeCandidate(
+                pc=pc,
+                keep_vid=src.vid,
+                other_vid=dst.vid,
+                other_web=web.web_of[dst.vid],
+                hint_reg=hint.reg,
+                critical=critical.get(pc, 0),
+            )
+        )
+    for plan in plans.values():
+        plan.merges.sort(key=lambda c: -c.critical)
+
+    # --- last-value exclusivity: conflict edges against loop definitions --
+    for pc in sorted(lists.last_value):
+        site, dst = def_value(pc)
+        if site is None or pc in lists.same:
+            continue
+        if loads_only and not program[pc].is_load:
+            continue
+        plan = plans[site.func.name]
+        web = webs[site.func.name]
+        plan.report.lvr_attempted += 1
+        if dst is None or web.pin[web.web_of[dst.vid]] is not None:
+            plan.report.lvr_not_in_loop += 1
+            continue
+        loop = program.innermost_loop(pc)
+        if loop is None:
+            plan.report.lvr_not_in_loop += 1  # abandoned: not in a loop
+            continue
+        dst_web = web.web_of[dst.vid]
+        others: List[int] = []
+        shared = False
+        for other_pc in sorted(loop.body):
+            if other_pc == pc:
+                continue
+            _, other = def_value(other_pc)
+            if other is None or other.kind != dst.kind:
+                continue
+            if web.web_of[other.vid] == dst_web:
+                shared = True  # another loop definition shares the web
+                break
+            others.append(other.vid)
+        if shared:
+            plan.report.lvr_shared += 1
+            continue
+        plan.lvr.append(
+            _ExclusivityCandidate(
+                pc=pc,
+                def_vid=dst.vid,
+                def_web=dst_web,
+                loop_depth=loop.depth,
+                other_vids=others,
+                critical=critical.get(pc, 0),
+            )
+        )
+    for plan in plans.values():
+        plan.lvr.sort(key=lambda c: (-c.loop_depth, -c.critical))
+    return plans

@@ -1,0 +1,290 @@
+"""Flat-ISA entry points for the SSA pass pipeline.
+
+Each function here is a drop-in twin of a flat compiler pass — same
+signature, same return shape, same report fields, same verifier
+postconditions — implemented as *raise to SSA -> SSA pass -> lower*.  The
+existing flat passes stay untouched; callers, the PR 2 pass-postcondition
+verifier (:func:`repro.analysis.verifier.check_program`) and the PR 3
+pass-preservation fuzz oracles run unchanged against either path, and the
+suite compares the two paths' reports workload by workload.
+
+Shape discipline: marking and reallocation are same-shape passes in the
+flat pipeline (no pc shifts), and downstream consumers (profile lists,
+lvr pcs) rely on that.  The SSA versions enforce it — reallocation prunes
+any constraint whose register assignment would force a phi repair copy,
+mirroring the paper's register-exhaustion pruning — so ``origin pc ==
+emitted pc`` always holds for those two wrappers.
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from dataclasses import replace
+from typing import Dict, List, Optional, Tuple
+
+from ..compiler.insertion import insert_after
+from ..compiler.marking import MARKING_LEVELS, marked_pcs
+from ..compiler.realloc import ReallocReport
+from ..compiler.stride_pass import StridePassReport
+from ..isa.instructions import Instruction
+from ..isa.program import Program
+from ..profiling.lists import DeadHint, ProfileLists
+from .lower import FunctionConstraints, LoweringResult, lower_module
+from .nodes import IRError, IRModule
+from .passes import drop_stride_shadow, mark_rvp_loads, plan_reallocation, plan_stride_shadows
+from .regalloc import SpillSlots, allocate
+from .ssa import raise_program
+
+
+def _remap_lists(lists: ProfileLists, pc_map: Dict[int, int]) -> ProfileLists:
+    """Carry profile lists across a pc shift (hint producer pcs included)."""
+
+    def hint(h: DeadHint) -> DeadHint:
+        if h.producer_pc is None:
+            return h
+        return replace(h, producer_pc=pc_map.get(h.producer_pc, h.producer_pc))
+
+    new = ProfileLists(threshold=lists.threshold)
+    new.same = {pc_map[pc] for pc in lists.same if pc in pc_map}
+    new.dead = {pc_map[pc]: hint(h) for pc, h in lists.dead.items() if pc in pc_map}
+    new.live = {pc_map[pc]: hint(h) for pc, h in lists.live.items() if pc in pc_map}
+    new.last_value = {pc_map[pc] for pc in lists.last_value if pc in pc_map}
+    return new
+
+
+def _require_same_shape(program: Program, lowering: LoweringResult, source: str) -> None:
+    if len(lowering.program) != len(program) or any(
+        lowering.origin_map.get(pc) != pc for pc in range(len(program))
+    ):
+        raise IRError(f"{source}: lowering shifted pcs on a same-shape pass")
+
+
+# ----------------------------------------------------------------------
+# Marking
+# ----------------------------------------------------------------------
+def mark_static_rvp_ssa(
+    program: Program,
+    lists: ProfileLists,
+    level: str = "same",
+    verify: Optional[bool] = None,
+) -> Program:
+    """SSA twin of :func:`repro.compiler.marking.mark_static_rvp`."""
+    if level not in MARKING_LEVELS:
+        raise ValueError(f"unknown marking level {level!r}; choose from {MARKING_LEVELS}")
+    pcs = marked_pcs(program, lists, level)
+    module = raise_program(program)
+    module.name = f"{program.name}+srvp_{level}"
+    mark_rvp_loads(module, pcs)
+    lowering = lower_module(module, spill=False)
+    _require_same_shape(program, lowering, f"mark_static_rvp_ssa[{level}]")
+    marked = lowering.program
+
+    from ..analysis.verifier import check_program, verification_enabled
+
+    if verification_enabled(verify):
+        check_program(
+            marked,
+            source=f"mark_static_rvp_ssa[{level}]({program.name})",
+            lists=lists,
+            baseline=program,
+        )
+    return marked
+
+
+# ----------------------------------------------------------------------
+# Insertion
+# ----------------------------------------------------------------------
+def insert_after_ssa(
+    program: Program,
+    insertions: Dict[int, List[Instruction]],
+    name: Optional[str] = None,
+    verify: Optional[bool] = None,
+) -> Tuple[Program, Dict[int, int]]:
+    """SSA twin of :func:`repro.compiler.insertion.insert_after`.
+
+    Inserted instructions are written against architectural registers, so
+    they cannot be transplanted into value space without knowing which
+    value holds each register at the insertion point.  Instead the program
+    makes the identity round trip through SSA (raise, allocate, lower —
+    exercising the whole mid-end) and the insertion is applied to the
+    lowered program at the remapped pcs; the composed pc map is returned.
+    IR-native insertion — where operands *are* values — is what the stride
+    shadow pass uses (:func:`repro.ir.passes.insert_after_instr`).
+    """
+    lowering = lower_module(raise_program(program), spill=False)
+    _require_same_shape(program, lowering, "insert_after_ssa")
+    remapped = {lowering.origin_map[pc]: instrs for pc, instrs in insertions.items()}
+    inserted, pc_map = insert_after(lowering.program, remapped, name=name, verify=verify)
+    composed = {pc: pc_map[lowering.origin_map[pc]] for pc in range(len(program))}
+    return inserted, composed
+
+
+# ----------------------------------------------------------------------
+# Stride shadows
+# ----------------------------------------------------------------------
+def apply_stride_pass_ssa(
+    program: Program,
+    strides: Dict[int, int],
+    lists: Optional[ProfileLists] = None,
+    verify: Optional[bool] = None,
+) -> Tuple[Program, ProfileLists, StridePassReport]:
+    """SSA twin of :func:`repro.compiler.stride_pass.apply_stride_pass`."""
+    module = raise_program(program)
+    module.name = f"{program.name}+stride"
+    plan = plan_stride_shadows(module, strides)
+    while True:
+        constraints = {
+            fname: FunctionConstraints(exclusive_vids=list(vids)) for fname, vids in plan.exclusive.items()
+        }
+        try:
+            lowering = lower_module(module, constraints=constraints, spill=False)
+            break
+        except IRError:
+            if not plan.shadows:
+                raise
+            drop_stride_shadow(module, plan, max(plan.shadows))
+
+    report = StridePassReport(
+        attempted=plan.attempted,
+        applied=plan.applied,
+        no_free_register=plan.no_free_register,
+        not_writable=plan.not_writable,
+    )
+    pc_map = lowering.origin_map
+    new_program = lowering.program
+    new_lists = _remap_lists(lists, pc_map) if lists is not None else ProfileLists(threshold=0.8)
+    for pc, (shadow, add) in sorted(plan.shadows.items()):
+        new_pc = pc_map.get(pc)
+        if new_pc is None or new_pc in new_lists.dead:
+            continue
+        new_lists.dead[new_pc] = DeadHint(reg=shadow.assigned_reg, producer_pc=add.emitted_pc)
+        new_lists.same.discard(new_pc)
+
+    from ..analysis.verifier import check_program, verification_enabled
+
+    if verification_enabled(verify):
+        check_program(
+            new_program,
+            source=f"apply_stride_pass_ssa({program.name})",
+            lists=new_lists,
+            baseline=program,
+            pc_map=pc_map,
+        )
+    return new_program, new_lists, report
+
+
+# ----------------------------------------------------------------------
+# Section 7.3 reallocation
+# ----------------------------------------------------------------------
+def _phi_copies_needed(func, result) -> bool:
+    for block in func.blocks:
+        for phi in block.phis:
+            for arg in phi.args.values():
+                if result.reg_of[phi.dst.vid] != result.reg_of[arg.vid]:
+                    return True
+    return False
+
+
+def reallocate_ssa(
+    program: Program,
+    lists: ProfileLists,
+    critical: Optional[Counter] = None,
+    loads_only: bool = False,
+    verify: Optional[bool] = None,
+) -> Tuple[Program, ReallocReport]:
+    """SSA twin of :func:`repro.compiler.realloc.reallocate`.
+
+    Dead-register reuse is a live-range merge (producer class absorbs the
+    destination class, keeping the hinted register); LVR is exclusivity
+    edges against every class defined in the innermost loop.  When the
+    colourer cannot honour a constraint set, constraints are pruned in the
+    paper's priority order — LVR before dead reuse, outermost/least
+    critical first — until the allocation both colours and stays
+    shape-identical (no phi repair copies).
+    """
+    module = raise_program(program)
+    module.name = f"{program.name}+realloc"
+    plans = plan_reallocation(program, module, lists, critical, loads_only)
+
+    funcs = {f.name: f for f in module.functions}
+    final: Dict[str, FunctionConstraints] = {}
+    for fname, plan in plans.items():
+        func = funcs[fname]
+        while True:
+            # A destination class a dead merge already placed is skipped by
+            # LVR, exactly like the flat pass's dead_moved set.
+            merged_webs = {c.other_web for c in plan.merges}
+            active_lvr = [c for c in plan.lvr if c.def_web not in merged_webs]
+            cons = FunctionConstraints(
+                merges=[(c.keep_vid, c.other_vid) for c in plan.merges],
+                conflict_edges=[(c.def_vid, other) for c in active_lvr for other in c.other_vids],
+            )
+            result = allocate(
+                func,
+                SpillSlots(),
+                merges=cons.merges,
+                conflict_edges=cons.conflict_edges,
+                spill=False,
+            )
+            dropped = False
+            if result.ok:
+                for index, cand in enumerate(plan.merges):
+                    # An applied merge puts destination and producer in one
+                    # class, so they share a register by construction — the
+                    # reuse condition.  (Like the flat pass, which moves the
+                    # destination to the producer's *current* register, the
+                    # shared register need not be the profile-time hint:
+                    # mutual reuses legally collapse to one register.)
+                    if index not in result.merges_applied:
+                        plan.merges.remove(cand)
+                        plan.report.dead_conflicting += 1
+                        dropped = True
+                        break
+                if not dropped and _phi_copies_needed(func, result):
+                    if active_lvr:
+                        plan.lvr.remove(active_lvr[-1])
+                        plan.report.pruned_for_coloring += 1
+                    elif plan.merges:
+                        plan.merges.pop()
+                        plan.report.dead_conflicting += 1
+                    else:
+                        raise IRError(f"{fname}: unconstrained allocation not shape-stable")
+                    dropped = True
+            else:
+                # Colouring failed outright: shed the lowest-priority
+                # constraint (LVR before dead reuse, paper heuristic 1).
+                if active_lvr:
+                    plan.lvr.remove(active_lvr[-1])
+                    plan.report.pruned_for_coloring += 1
+                elif plan.merges:
+                    plan.merges.pop()
+                    plan.report.dead_conflicting += 1
+                else:
+                    raise IRError(result.failure)
+                dropped = True
+            if not dropped:
+                plan.report.dead_applied += len(plan.merges)
+                plan.report.lvr_applied += len(active_lvr)
+                plan.report.lvr_pcs.update(c.pc for c in active_lvr)
+                final[fname] = cons
+                break
+
+    lowering = lower_module(module, constraints=final, spill=False)
+    _require_same_shape(program, lowering, "reallocate_ssa")
+    result_program = lowering.program
+
+    total = ReallocReport()
+    for plan in plans.values():
+        total = total.merged(plan.report)
+
+    from ..analysis.verifier import check_program, verification_enabled
+
+    if verification_enabled(verify):
+        check_program(
+            result_program,
+            source=f"reallocate_ssa({program.name})",
+            lists=lists,
+            lvr_pcs=total.lvr_pcs,
+            baseline=program,
+        )
+    return result_program, total

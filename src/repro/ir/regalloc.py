@@ -1,0 +1,355 @@
+"""SSA register allocation: coalescing + Chaitin–Briggs colouring + spilling.
+
+The colouring machinery is the flat back end's, reused wholesale:
+:func:`repro.compiler.interference.build_interference` consumes the value
+*classes* built here (duck-typed like webs: ``index`` / ``kind`` /
+``live_pcs``, where the pcs are liveness ticks), and
+:func:`repro.compiler.coloring.color_graph` colours them with the same
+preference / precolour rules.  What the SSA form adds on top:
+
+* **coalescing** — a union-find over values merges phi-connected values and
+  values descending from the same virtual register whenever their tick
+  ranges don't overlap, so an unconstrained allocation of a raised program
+  reproduces its original registers exactly (every class keeps its
+  preferred register).  Pass-requested merges (the reallocator's live-range
+  merging) ride the same mechanism with higher priority.
+* **constraint edges** — last-value-register exclusivity and
+  stride-shadow exclusivity are extra adjacency, exactly like the flat
+  reallocator's ``extra_edges``.
+* **spilling** — when colouring fails (only possible for builder-authored
+  code; a raised program is its own colouring), the uncoloured classes are
+  spilled to reserved absolute slots (``SPILL_BASE``): a store after each
+  definition, a reload before each use, then the allocation reruns.  The
+  flat allocator never needed this; the IR front end does.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, List, Optional, Sequence, Set, Tuple
+
+from ..compiler.coloring import ColorNode, color_graph
+from ..compiler.interference import build_interference
+from ..isa.registers import ZERO, Reg
+from .liveness import ValueLiveness, value_liveness
+from .nodes import IRError, IRFunction, IRInstr, Value
+
+#: Reserved absolute-address region for compiler-generated spill slots and
+#: parallel-copy shuffle traffic.  Sits between the workloads' data segments
+#: and the stack region; nothing else in the repo addresses it (see
+#: DESIGN.md Section 13).
+SPILL_BASE = 0xDC_0000
+SPILL_END = 0xE0_0000
+_WORD = 8
+
+
+class SpillSlots:
+    """Module-wide allocator of spill-slot addresses (absolute, off r31)."""
+
+    def __init__(self, base: int = SPILL_BASE) -> None:
+        self.base = base
+        self._next = 0
+        self._shuffle: Optional[int] = None
+
+    def alloc(self) -> int:
+        addr = self.base + self._next * _WORD
+        self._next += 1
+        if addr >= SPILL_END:
+            raise IRError("spill area exhausted")
+        return addr
+
+    @property
+    def shuffle(self) -> int:
+        """The one scratch slot used to break parallel-copy cycles."""
+        if self._shuffle is None:
+            self._shuffle = self.alloc()
+        return self._shuffle
+
+    @property
+    def used(self) -> int:
+        return self._next
+
+
+class ValueClass:
+    """A coalesce group of SSA values (duck-typed like a flat web)."""
+
+    __slots__ = ("index", "kind", "live_pcs", "vids", "pin", "preferred")
+
+    def __init__(self, index: int, kind: str) -> None:
+        self.index = index
+        self.kind = kind
+        self.live_pcs: Set[int] = set()
+        self.vids: Set[int] = set()
+        self.pin: Optional[Reg] = None
+        self.preferred: Optional[Reg] = None
+
+
+@dataclass
+class AllocationResult:
+    """Outcome of one allocation attempt over one function."""
+
+    ok: bool
+    liveness: ValueLiveness
+    reg_of: Dict[int, Reg] = field(default_factory=dict)  # vid -> register
+    class_of: Dict[int, int] = field(default_factory=dict)  # vid -> class index
+    classes: Dict[int, ValueClass] = field(default_factory=dict)
+    #: Indices of merge requests that were honoured.
+    merges_applied: Set[int] = field(default_factory=set)
+    #: vids spilled across all rounds.
+    spilled: List[int] = field(default_factory=list)
+    #: Why colouring failed, when ``ok`` is False.
+    failure: str = ""
+
+
+def _try_union(
+    classes: Dict[int, ValueClass],
+    root: Dict[int, int],
+    keep_vid: int,
+    other_vid: int,
+    separations: Sequence[Tuple[int, int]] = (),
+) -> bool:
+    """Merge ``other``'s class into ``keep``'s if legal; keep's affinity wins."""
+    a, b = root[keep_vid], root[other_vid]
+    if a == b:
+        return True
+    ca, cb = classes[a], classes[b]
+    if ca.kind != cb.kind:
+        return False
+    if ca.pin is not None and cb.pin is not None and ca.pin != cb.pin:
+        return False
+    if ca.live_pcs & cb.live_pcs:
+        return False
+    # A separation (conflict edge) means the two values must end up in
+    # different registers, so coalescing their classes is illegal.
+    for x, y in separations:
+        if x not in root or y not in root:
+            continue
+        rx, ry = root[x], root[y]
+        if (rx == a and ry == b) or (rx == b and ry == a):
+            return False
+    ca.live_pcs |= cb.live_pcs
+    ca.vids |= cb.vids
+    ca.pin = ca.pin or cb.pin
+    ca.preferred = ca.preferred or cb.preferred
+    for vid in cb.vids:
+        root[vid] = a
+    del classes[b]
+    return True
+
+
+def build_classes(
+    func: IRFunction,
+    liveness: ValueLiveness,
+    merges: Sequence[Tuple[int, int]] = (),
+    separations: Sequence[Tuple[int, int]] = (),
+) -> Tuple[Dict[int, ValueClass], Dict[int, int], Set[int]]:
+    """Coalesce values into classes; returns (classes, vid->class, merges applied)."""
+    classes: Dict[int, ValueClass] = {}
+    root: Dict[int, int] = {}
+    for vid, value in liveness.values.items():
+        cls = ValueClass(vid, value.kind)
+        cls.live_pcs = set(liveness.ticks.get(vid, ()))
+        cls.vids = {vid}
+        cls.pin = value.pin
+        cls.preferred = value.pin or value.preferred
+        classes[vid] = cls
+        root[vid] = vid
+
+    applied: Set[int] = set()
+    for index, (keep, other) in enumerate(merges):
+        if keep in root and other in root and _try_union(classes, root, keep, other, separations):
+            applied.add(index)
+    for block in func.blocks:
+        for phi in block.phis:
+            for arg in phi.args.values():
+                _try_union(classes, root, phi.dst.vid, arg.vid, separations)
+    # Classes carrying a requested merge are excluded from the cosmetic
+    # same-vreg coalescing below: folding in another web of the destination
+    # register could bring along a calling-convention pin (or a competing
+    # preference) that would override the requested register, which the flat
+    # pass — recolouring exactly one web — never does.
+    locked = {root[vid] for index in applied for vid in merges[index]}
+    by_vreg: Dict[object, List[int]] = {}
+    for vid in sorted(liveness.values):
+        vreg = liveness.values[vid].vreg
+        if vreg is not None:
+            by_vreg.setdefault(vreg, []).append(vid)
+    for vids in by_vreg.values():
+        leader = vids[0]
+        for vid in vids[1:]:
+            if root[leader] in locked or root[vid] in locked:
+                continue
+            _try_union(classes, root, leader, vid, separations)
+    # Re-assert the keep side's affinity (the reallocator's hint register):
+    # phi coalescing may have folded the merged class into one whose own
+    # preference would otherwise win.
+    for index in applied:
+        keep = merges[index][0]
+        value = liveness.values[keep]
+        preference = value.pin or value.preferred
+        cls = classes[root[keep]]
+        if cls.pin is None and preference is not None:
+            cls.preferred = preference
+    return classes, root, applied
+
+
+def textual_vids(func: IRFunction) -> Set[int]:
+    """Values that occur in the function's text (instructions or phis).
+
+    The complement — values carried only by convention edges (entry
+    definitions and call/exit uses of registers the function never names) —
+    matters for stride shadows: the flat pass parks shadows in registers the
+    procedure text never touches, treating conventional pass-through
+    liveness as free, and exclusivity must match that to reach parity.
+    """
+    vids: Set[int] = set()
+    for block in func.blocks:
+        for phi in block.phis:
+            vids.add(phi.dst.vid)
+            vids.update(arg.vid for arg in phi.args.values())
+        for instr in block.instrs:
+            if isinstance(instr.defined, Value):
+                vids.add(instr.defined.vid)
+            vids.update(v.vid for v in instr.used)
+    return vids
+
+
+def _spillable(value: Value) -> bool:
+    return value.pin is None and not getattr(value, "no_spill", False)
+
+
+def _spill_class(func: IRFunction, cls: ValueClass, liveness: ValueLiveness, slots: SpillSlots) -> List[int]:
+    """Rewrite the IR so every value in ``cls`` lives in memory; returns vids."""
+    spilled = []
+    for vid in sorted(cls.vids):
+        value = liveness.values[vid]
+        if not _spillable(value):
+            continue
+        slot = slots.alloc()
+        store_op = "fst" if value.kind == "fp" else "st"
+        load_op = "fld" if value.kind == "fp" else "ld"
+        spilled.append(vid)
+
+        for block in func.blocks:
+            # Reload before each explicit use (one reload per instruction).
+            rebuilt: List[IRInstr] = []
+            for instr in block.instrs:
+                if any(op is value for op in instr.used):
+                    fresh = func.new_value(value.kind)
+                    fresh.no_spill = True
+                    rebuilt.append(IRInstr(load_op, dst=fresh, src1=ZERO, imm=slot))
+                    if instr.src1 is value:
+                        instr.src1 = fresh
+                    if instr.src2 is value:
+                        instr.src2 = fresh
+                rebuilt.append(instr)
+                # Store right after the definition.
+                if instr.defined is value:
+                    rebuilt.append(IRInstr(store_op, src2=value, src1=ZERO, imm=slot))
+            block.instrs = rebuilt
+            # A spilled phi destination is stored at block entry.
+            if any(phi.dst is value for phi in block.phis):
+                block.instrs.insert(0, IRInstr(store_op, src2=value, src1=ZERO, imm=slot))
+        # Phi arguments: reload at the end of the predecessor.
+        for block in func.blocks:
+            label = block.label
+            for succ_label in func.successors(block):
+                succ = func.block(succ_label)
+                needed = [phi for phi in succ.phis if phi.args.get(label) is value]
+                if not needed:
+                    continue
+                fresh = func.new_value(value.kind)
+                fresh.no_spill = True
+                reload = IRInstr(load_op, dst=fresh, src1=ZERO, imm=slot)
+                if block.terminator is not None:
+                    block.instrs.insert(len(block.instrs) - 1, reload)
+                else:
+                    block.instrs.append(reload)
+                for phi in needed:
+                    phi.args[label] = fresh
+    return spilled
+
+
+def allocate(
+    func: IRFunction,
+    slots: SpillSlots,
+    *,
+    merges: Sequence[Tuple[int, int]] = (),
+    conflict_edges: Iterable[Tuple[int, int]] = (),
+    exclusive_vids: Iterable[int] = (),
+    spill: bool = True,
+    max_rounds: int = 16,
+) -> AllocationResult:
+    """Allocate registers for one SSA function.
+
+    ``merges`` are best-effort coalesce requests ``(keep_vid, other_vid)``
+    (the keep side's register affinity wins).  ``conflict_edges`` force two
+    values' classes apart (LVR loop exclusivity); ``exclusive_vids`` force a
+    value's class apart from *every* same-kind class (stride shadows).  With
+    ``spill=False`` a colouring failure returns ``ok=False`` instead of
+    spilling — the reallocator uses that to prune constraints, the paper's
+    Section 7.3 fallback.
+    """
+    conflict_edges = list(conflict_edges)
+    exclusive_vids = list(exclusive_vids)
+    spilled: List[int] = []
+    for _ in range(max_rounds):
+        liveness = value_liveness(func)
+        classes, root, applied = build_classes(func, liveness, merges, conflict_edges)
+
+        adjacency = build_interference(list(classes.values()))
+        for vid_a, vid_b in conflict_edges:
+            if vid_a not in root or vid_b not in root:
+                continue
+            a, b = root[vid_a], root[vid_b]
+            if a != b and classes[a].kind == classes[b].kind:
+                adjacency[a].add(b)
+                adjacency[b].add(a)
+        textual = textual_vids(func)
+        for vid in exclusive_vids:
+            if vid not in root:
+                continue
+            a = root[vid]
+            for other in classes.values():
+                if other.index == a or other.kind != classes[a].kind:
+                    continue
+                # Exclusive only against classes with a textual occurrence:
+                # conventional pass-through values do not block a shadow,
+                # matching the flat pass's untouched-register rule.
+                if not (other.vids & textual):
+                    continue
+                adjacency[a].add(other.index)
+                adjacency[other.index].add(a)
+
+        nodes = [
+            ColorNode(node_id=cls.index, kind=cls.kind, preferred=cls.preferred, fixed=cls.pin)
+            for cls in classes.values()
+        ]
+        coloring = color_graph(nodes, adjacency, func.name)
+        if not coloring.uncolored:
+            result = AllocationResult(ok=True, liveness=liveness)
+            result.classes = classes
+            for vid, cls_index in root.items():
+                result.class_of[vid] = cls_index
+                reg = coloring.assignment[cls_index]
+                result.reg_of[vid] = reg
+                liveness.values[vid].assigned_reg = reg
+            result.merges_applied = applied
+            result.spilled = spilled
+            return result
+
+        to_spill = [
+            classes[index]
+            for index in sorted(coloring.uncolored)
+            if classes[index].pin is None and any(_spillable(liveness.values[v]) for v in classes[index].vids)
+        ]
+        if not spill or not to_spill:
+            messages = "; ".join(d.message for d in coloring.diagnostics[:3])
+            return AllocationResult(
+                ok=False,
+                liveness=liveness,
+                failure=f"{func.name}: colouring failed ({messages})",
+            )
+        for cls in to_spill:
+            spilled.extend(_spill_class(func, cls, liveness, slots))
+    raise IRError(f"{func.name}: spilling did not converge after {max_rounds} rounds")

@@ -43,7 +43,7 @@ from typing import Callable, Dict, Iterable, List, Optional, Sequence, Tuple
 
 from ..analysis.diagnostics import VerificationError
 from ..compiler.insertion import insert_after
-from ..compiler.liveness import explicit_defs, explicit_uses
+from ..analysis.effects import explicit_defs, explicit_uses
 from ..compiler.marking import MARKING_LEVELS, mark_static_rvp
 from ..compiler.realloc import reallocate
 from ..compiler.stride_pass import apply_stride_pass
@@ -319,19 +319,24 @@ def check_pass_preservation(case: GeneratedCase) -> None:
         _same_shape_equivalent(name, f"marking[{level}]", base, marked, case)
 
     # -- raw insertion: benign self-moves after deterministic ALU sites --
-    int_regs = sorted((r for r in _explicit_regs(program) if r.is_int and not r.is_zero), key=lambda r: r.index)
-    scratch = int_regs[0] if int_regs else None
+    # Each site self-moves its own destination register: that register is
+    # defined at the insertion point by construction, so the check is
+    # independent of the allocator's register numbering (IR-lowered
+    # programs need not define r0 first).
     alu_sites = [
         inst.pc
         for inst in program
-        if inst.op.kind is OpKind.ALU and inst.writes is not None
+        if inst.op.kind is OpKind.ALU and inst.writes is not None and inst.writes.is_int and not inst.writes.is_zero
     ]
-    if scratch is not None and alu_sites:
+    if alu_sites:
         step = max(1, len(alu_sites) // 3)
         chosen = alu_sites[::step][:3]
-        self_move = Instruction(op=opcode("mov"), dst=scratch, src1=scratch)
+        moves = {
+            pc: [Instruction(op=opcode("mov"), dst=program[pc].writes, src1=program[pc].writes)]
+            for pc in chosen
+        }
         try:
-            inserted, _ = insert_after(program, {pc: [self_move] for pc in chosen})
+            inserted, _ = insert_after(program, moves)
         except VerificationError as exc:
             raise OracleViolation(name, f"insertion: verifier rejected output: {exc}")
         after = _inserted_equivalent(

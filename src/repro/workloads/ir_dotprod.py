@@ -1,0 +1,106 @@
+"""``dotprod`` model — blocked integer dot product, authored in the IR.
+
+The first workload written against :class:`repro.ir.builder.IRBuilder`
+rather than the flat :class:`~repro.isa.builder.ProgramBuilder`: operands
+are IR temporaries, the loop-carried values (pointers, index, accumulators)
+become phis under SSA construction, and the program text below is whatever
+the mid-end's allocator and lowerer emit.  Nothing downstream knows the
+difference — the lowered :class:`~repro.isa.program.Program` runs through
+``repro run`` / ``repro metrics`` exactly like the nine paper workloads.
+
+Locality structure (what RVP sees):
+
+* the ``a`` array is a run-length pool (:func:`repro.workloads.data.run_lengths`),
+  so its load shows strong last-value reuse;
+* the ``b`` array is a correlated copy of ``a`` shifted by one element, so
+  ``b[i]`` frequently equals the value ``a`` loaded the previous iteration —
+  dead/live-register correlation across the two load destinations;
+* both pointers stride by the word size, feeding the stride shadow pass.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..isa.program import Program
+from ..sim.memory import Memory
+from .base import HEADER_BASE, SCRATCH_BASE, Workload
+from . import data
+
+_A = 0
+_B = 1
+
+
+class IrDotprodWorkload(Workload):
+    name = "dotprod"
+    category = "C"
+    description = "IR-authored blocked dot product over correlated run-length arrays"
+
+    def _build_program(self) -> Program:
+        from ..ir import IRBuilder
+
+        b = IRBuilder(self.name)
+        f = b.function("main")
+        f.block("main")
+        hdr = f.var("hdr")
+        f.li(hdr, HEADER_BASE)
+        reps = f.var("reps")
+        f.ld(reps, hdr, 0)
+        n = f.var("n")
+        f.ld(n, hdr, 8)
+        a_base = f.var("a_base")
+        f.li(a_base, self.array_base(_A))
+        b_base = f.var("b_base")
+        f.li(b_base, self.array_base(_B))
+        total = f.var("total")
+        f.li(total, 0)
+
+        f.block("outer")
+        pa = f.var("pa")
+        f.mov(pa, a_base)
+        pb = f.var("pb")
+        f.mov(pb, b_base)
+        i = f.var("i")
+        f.li(i, 0)
+        acc = f.var("acc")
+        f.li(acc, 0)
+
+        f.block("inner")
+        va = f.var("va")
+        f.ld(va, pa, 0)
+        vb = f.var("vb")
+        f.ld(vb, pb, 0)
+        prod = f.var("prod")
+        f.mul(prod, va, vb)
+        f.add(acc, acc, prod)
+        f.add(pa, pa, 8)
+        f.add(pb, pb, 8)
+        f.add(i, i, 1)
+        more = f.var("more")
+        f.cmplt(more, i, n)
+        f.bne(more, "inner")
+
+        f.block("wrap")
+        f.add(total, total, acc)
+        f.sub(reps, reps, 1)
+        f.bne(reps, "outer")
+
+        f.block("end")
+        out = f.var("out")
+        f.li(out, SCRATCH_BASE)
+        f.st(total, out, 0)
+        f.halt()
+        return b.program()
+
+    def _populate_memory(self, memory: Memory, rng: np.random.Generator) -> None:
+        n = self.n(96)
+        reps = self.n(12)
+        self.write_header(memory, reps, n)
+        pool = [int(v) for v in rng.integers(1, 50, size=8)]
+        a = data.run_lengths(rng, n, pool, mean_run=4.0)
+        # b trails a by one element, so b's load usually matches the value
+        # a's (by then dead) destination register held last iteration.
+        shifted = a[-1:] + a[:-1]
+        b = data.correlated_copy(rng, shifted, correlation=0.85)
+        memory.write_words(self.array_base(_A), a)
+        memory.write_words(self.array_base(_B), b)

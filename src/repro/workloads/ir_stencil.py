@@ -1,0 +1,107 @@
+"""``stencil`` model — 1-D three-point FP stencil sweeps, authored in the IR.
+
+The floating-point companion to :mod:`repro.workloads.ir_dotprod`: built
+with :class:`repro.ir.builder.IRBuilder`, so the ping-pong buffer pointers
+(swapped every sweep) and the sliding window of neighbour loads are IR
+temporaries that SSA construction threads through phis, and the emitted
+register assignment comes out of the mid-end's allocator.
+
+Locality structure: the grid is a quantised smooth field with zero-padded
+boundary runs (:func:`repro.workloads.data.smooth_field`), so the three
+neighbour loads show the F-SPEC pattern — heavy last-value and
+group-constant reuse, with each load's value frequently sitting in one of
+the *other* window registers from the previous iteration (dead-register
+correlation across the sliding window).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..isa.program import Program
+from ..sim.memory import Memory
+from .base import HEADER_BASE, SCRATCH_BASE, Workload
+from . import data
+
+_SRC = 0
+_DST = 1
+
+
+class IrStencilWorkload(Workload):
+    name = "stencil"
+    category = "F"
+    description = "IR-authored ping-pong 3-point stencil over a smooth zero-padded grid"
+
+    def _build_program(self) -> Program:
+        from ..ir import FP, IRBuilder
+
+        b = IRBuilder(self.name)
+        f = b.function("main")
+        f.block("main")
+        hdr = f.var("hdr")
+        f.li(hdr, HEADER_BASE)
+        sweeps = f.var("sweeps")
+        f.ld(sweeps, hdr, 0)
+        interior = f.var("interior")  # number of interior points (n - 2)
+        f.ld(interior, hdr, 8)
+        src = f.var("src")
+        f.li(src, self.array_base(_SRC))
+        dst = f.var("dst")
+        f.li(dst, self.array_base(_DST))
+        w0 = f.var("w0", FP)
+        f.fli(w0, 1)
+        w1 = f.var("w1", FP)
+        f.fli(w1, 2)
+
+        f.block("sweep")
+        p = f.var("p")
+        f.add(p, src, 8)  # first interior point
+        q = f.var("q")
+        f.add(q, dst, 8)
+        i = f.var("i")
+        f.mov(i, interior)
+
+        f.block("point")
+        left = f.var("left", FP)
+        f.fld(left, p, -8)
+        mid = f.var("mid", FP)
+        f.fld(mid, p, 0)
+        right = f.var("right", FP)
+        f.fld(right, p, 8)
+        edge = f.var("edge", FP)
+        f.fadd(edge, left, right)
+        scaled = f.var("scaled", FP)
+        f.fmul(scaled, mid, w1)
+        new = f.var("new", FP)
+        f.fadd(new, edge, scaled)
+        f.fst(new, q, 0)
+        f.add(p, p, 8)
+        f.add(q, q, 8)
+        f.sub(i, i, 1)
+        f.bne(i, "point")
+
+        f.block("swap")
+        tmp = f.var("tmp")
+        f.mov(tmp, src)
+        f.mov(src, dst)
+        f.mov(dst, tmp)
+        f.sub(sweeps, sweeps, 1)
+        f.bne(sweeps, "sweep")
+
+        f.block("end")
+        out = f.var("out")
+        f.li(out, SCRATCH_BASE)
+        f.st(src, out, 0)  # which buffer holds the final field
+        f.halt()
+        return b.program()
+
+    def _populate_memory(self, memory: Memory, rng: np.random.Generator) -> None:
+        n = self.n(68)
+        sweeps = self.n(13)
+        self.write_header(memory, sweeps, n - 2)
+        grid = data.smooth_field(rng, n, levels=8, step_prob=0.12, zero_frac=0.2)
+        grid[0] = grid[-1] = 0  # fixed boundary
+        memory.write_words(self.array_base(_SRC), grid)
+        # The destination buffer starts as a copy so boundary cells (never
+        # written by the sweep) stay consistent after the ping-pong swap.
+        memory.write_words(self.array_base(_DST), grid)

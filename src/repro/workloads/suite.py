@@ -1,10 +1,13 @@
-"""Workload registry: the nine SPEC95 models the paper evaluates."""
+"""Workload registry: the nine SPEC95 models the paper evaluates, plus the
+IR-authored extras built through the SSA mid-end."""
 
 from __future__ import annotations
 
 from typing import Dict, List, Type
 
 from .base import Workload
+from .ir_dotprod import IrDotprodWorkload
+from .ir_stencil import IrStencilWorkload
 from .spec_go import GoWorkload
 from .spec_hydro2d import Hydro2dWorkload
 from .spec_ijpeg import IjpegWorkload
@@ -15,7 +18,9 @@ from .spec_perl import PerlWorkload
 from .spec_su2cor import Su2corWorkload
 from .spec_turb3d import Turb3dWorkload
 
-#: The paper's program order (Figures 3-8): C SPEC first, then F SPEC.
+#: The paper's program order (Figures 3-8): C SPEC first, then F SPEC —
+#: followed by the IR-authored workloads (not part of the paper's figures,
+#: but first-class citizens of every runner and pass).
 WORKLOAD_CLASSES: Dict[str, Type[Workload]] = {
     "go": GoWorkload,
     "ijpeg": IjpegWorkload,
@@ -26,10 +31,16 @@ WORKLOAD_CLASSES: Dict[str, Type[Workload]] = {
     "mgrid": MgridWorkload,
     "su2cor": Su2corWorkload,
     "turb3d": Turb3dWorkload,
+    "dotprod": IrDotprodWorkload,
+    "stencil": IrStencilWorkload,
 }
 
 C_SPEC = ("go", "ijpeg", "li", "m88ksim", "perl")
 F_SPEC = ("hydro2d", "mgrid", "su2cor", "turb3d")
+
+#: Workloads authored against :mod:`repro.ir` (programs emitted by the SSA
+#: mid-end's allocator/lowerer rather than written register-by-register).
+IR_AUTHORED = ("dotprod", "stencil")
 
 
 def make_workload(name: str, scale: float = 1.0) -> Workload:
@@ -42,5 +53,6 @@ def make_workload(name: str, scale: float = 1.0) -> Workload:
 
 
 def all_workloads(scale: float = 1.0) -> List[Workload]:
-    """All nine workloads in the paper's figure order."""
+    """All registered workloads: the paper's nine in figure order, then the
+    IR-authored extras."""
     return [make_workload(name, scale=scale) for name in WORKLOAD_CLASSES]

@@ -1,0 +1,86 @@
+"""IRBuilder front-end and the generator's IR frontend."""
+
+import pytest
+
+from repro.analysis.verifier import verify_program
+from repro.ir import FP, INT, IRBuilder
+from repro.sim import run_program
+from repro.sim.memory import Memory
+from repro.testing import GeneratorConfig, generate_case
+
+
+def build_countdown(n=5):
+    b = IRBuilder("countdown")
+    f = b.function("main")
+    f.block("main")
+    i = f.var("i", INT)
+    f.li(i, n)
+    acc = f.var("acc", INT)
+    f.li(acc, 0)
+    f.block("loop")
+    f.add(acc, acc, i)
+    f.sub(i, i, 1)
+    f.bne(i, "loop")
+    f.block("end")
+    out = f.var("out", INT)
+    f.li(out, 0x2000)
+    f.st(acc, out, 0)
+    f.halt()
+    return b
+
+
+def test_builder_authors_runnable_program():
+    program = build_countdown().program()
+    assert verify_program(program) == []
+    memory = Memory()
+    result = run_program(program, memory=memory, max_instructions=100)
+    assert result.halted
+    assert memory.read_words(0x2000, 1)[0] == 15
+
+
+def test_builder_loop_variables_become_phis():
+    module = build_countdown().build()
+    func = module.functions[0]
+    loop_phis = [phi for block in func.blocks if block.label == "loop" for phi in block.phis]
+    # i and acc are both loop-carried: SSA construction inserts their phis.
+    assert len(loop_phis) == 2
+
+
+def test_builder_fp_variables_use_fp_file():
+    b = IRBuilder("fp")
+    f = b.function("main")
+    f.block("main")
+    x = f.var("x", FP)
+    f.fli(x, 3)
+    y = f.var("y", FP)
+    f.fadd(y, x, x)
+    p = f.var("p", INT)
+    f.li(p, 0x2000)
+    f.fst(y, p, 0)
+    f.halt()
+    program = b.program()
+    assert verify_program(program) == []
+    assert any(inst.dst is not None and inst.dst.is_fp for inst in program)
+
+
+def test_generator_ir_frontend_is_deterministic_and_clean():
+    cfg = GeneratorConfig(frontend="ir")
+    a = generate_case(7, cfg)
+    b = generate_case(7, cfg)
+    assert a.program.render() == b.program.render()
+    assert verify_program(a.program) == []
+    result = run_program(a.program, memory=a.memory(), max_instructions=200_000)
+    assert result.halted
+
+
+def test_generator_ir_frontend_differs_from_flat():
+    flat = generate_case(7, GeneratorConfig(frontend="flat"))
+    ir = generate_case(7, GeneratorConfig(frontend="ir"))
+    # Same seed, different pipeline: the IR case came through the allocator.
+    assert flat.program.render() != ir.program.render()
+    assert ir.program.source_map is not None
+
+
+def test_generator_rejects_unknown_frontend():
+    with pytest.raises(ValueError, match="frontend"):
+        GeneratorConfig(frontend="llvm").validated()

@@ -1,0 +1,153 @@
+"""Lowering tests: round trips, provenance, parallel copies, spilling."""
+
+import pytest
+
+from repro.isa import assemble
+from repro.isa.registers import parse_reg
+from repro.ir import (
+    INT,
+    IRBuilder,
+    SPILL_BASE,
+    SpillSlots,
+    lower_module,
+    raise_program,
+    roundtrip,
+    sequence_copies,
+)
+from repro.sim import run_program
+from repro.sim.memory import Memory
+
+
+def identical(a, b):
+    return len(a) == len(b) and all(x.render() == y.render() for x, y in zip(a, b))
+
+
+def test_unconstrained_roundtrip_is_byte_identical():
+    program = assemble(
+        """
+        li r1, #10
+        li r2, #0
+    loop:
+        add r2, r2, r1
+        sub r1, r1, #1
+        bne r1, loop
+        st r2, 0(r31)
+        halt
+        """
+    )
+    lowering, report = roundtrip(program, Memory)
+    assert report.ok, report.mismatch
+    assert identical(program, lowering.program)
+
+
+def test_multi_procedure_roundtrip():
+    program = assemble(
+        """
+    .proc main
+    main:
+        li r16, #5
+        jsr r26, double
+        st r0, 0(r31)
+        halt
+    .proc double
+    double:
+        add r0, r16, r16
+        ret r26
+        """
+    )
+    lowering, report = roundtrip(program, Memory)
+    assert report.ok, report.mismatch
+    assert identical(program, lowering.program)
+
+
+def test_source_map_provenance():
+    program = assemble(
+        """
+        li r1, #3
+    loop:
+        sub r1, r1, #1
+        bne r1, loop
+        halt
+        """
+    )
+    lowering = lower_module(raise_program(program))
+    source_map = lowering.program.source_map
+    assert source_map is not None
+    assert set(source_map) == set(range(len(lowering.program)))
+    # The loop body carries depth 1, the prologue depth 0, and origin pcs
+    # relate the lowered program back to the flat input.
+    assert source_map[1].loop_depth == 1
+    assert source_map[0].loop_depth == 0
+    assert sorted(loc.origin_pc for loc in source_map.values()) == list(range(len(program)))
+
+
+def test_sequence_copies_serialises_swap_cycle():
+    """A phi swap cycle must shuffle through memory, not clobber."""
+    r1, r2 = parse_reg("r1"), parse_reg("r2")
+    slots = SpillSlots()
+    insts = sequence_copies([(r1, r2, "int"), (r2, r1, "int")], slots)
+    # One value parks in the shuffle slot: st + two materialisations.
+    assert any(i.op.name == "st" for i in insts)
+    assert any(i.op.name == "ld" for i in insts)
+    # Execute the sequence to prove swap semantics.
+    program = assemble("li r1, #111\nli r2, #222\nhalt")
+    from repro.isa.instructions import Instruction
+    from repro.isa.program import Program
+
+    seq = list(program)[:2] + insts + [list(program)[2]]
+    swapped = Program([Instruction(**{s: getattr(i, s) for s in ("op", "dst", "src1", "src2", "imm", "target")}) for i in seq], {}, "swap")
+    result = run_program(swapped, memory=Memory(), max_instructions=100)
+    assert result.halted
+    assert result.state.read(r1) == 222
+    assert result.state.read(r2) == 111
+
+
+def test_spilling_handles_more_values_than_registers():
+    """Builder code with > 31 simultaneously-live int values must spill to
+    the reserved slots and still compute the right answer."""
+    n = 40
+    b = IRBuilder("pressure")
+    f = b.function("main")
+    f.block("main")
+    vs = []
+    for i in range(n):
+        v = f.var(f"v{i}", INT)
+        f.li(v, i + 1)
+        vs.append(v)
+    total = f.var("total", INT)
+    f.li(total, 0)
+    for v in vs:
+        f.add(total, total, v)
+    out = f.var("out", INT)
+    f.li(out, 0x10000)
+    f.st(total, out, 0)
+    f.halt()
+    lowering = b.lower()
+    program = lowering.program
+    spill_pcs = [
+        inst.pc
+        for inst in program
+        if inst.imm is not None and SPILL_BASE <= inst.imm < SPILL_BASE + 0x1000 and inst.op.name in ("st", "ld")
+    ]
+    assert spill_pcs, "expected spill traffic for 40 live values"
+    memory = Memory()
+    result = run_program(program, memory=memory, max_instructions=1_000)
+    assert result.halted
+    assert memory.read_words(0x10000, 1)[0] == n * (n + 1) // 2
+
+
+def test_lowering_is_repeatable():
+    """lower_module must not mutate the module: two lowerings agree."""
+    program = assemble(
+        """
+        li r1, #4
+    loop:
+        sub r1, r1, #1
+        bne r1, loop
+        halt
+        """
+    )
+    module = raise_program(program)
+    first = lower_module(module)
+    second = lower_module(module)
+    assert identical(first.program, second.program)
