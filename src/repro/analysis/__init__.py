@@ -11,6 +11,11 @@ Layers (see DESIGN.md, "Static verification"):
   rule catalog; compiler passes run it as an on-by-default postcondition.
 * :mod:`repro.analysis.reuse_static` — profile-free estimation of the
   paper's reuse classes from dataflow facts alone.
+* :mod:`repro.analysis.absint` — abstract interpretation over the SSA IR:
+  interval value ranges, induction-variable recognition, and a symbolic
+  ``base + k*iv + offset`` address/alias domain.
+* :mod:`repro.analysis.reuse_symbolic` — absint-backed reuse classification
+  and profile-free RVP candidate selection for the marking pass.
 
 The engine (:mod:`.dataflow`) and the diagnostic types (:mod:`.diagnostics`)
 are dependency-free and imported eagerly; everything that depends on
@@ -71,6 +76,17 @@ _LAZY = {
     "StaticReuseEstimate": "reuse_static",
     "StaticReuseEstimator": "reuse_static",
     "compare_with_profile": "reuse_static",
+    "AbsintError": "absint",
+    "AffineExpr": "absint",
+    "Alias": "absint",
+    "FunctionAbsint": "absint",
+    "InductionFact": "absint",
+    "Interval": "absint",
+    "ProgramAbsint": "absint",
+    "SymbolicReuseEstimator": "reuse_symbolic",
+    "candidate_overlap": "reuse_symbolic",
+    "select_rvp_candidates": "reuse_symbolic",
+    "symbolic_reuse_by_depth": "reuse_symbolic",
 }
 
 __all__ = [

@@ -60,6 +60,9 @@ class LoadClassification:
     reason: str
     #: dead-register source, when reuse is DEAD
     source_reg: Optional[Reg] = None
+    #: sibling load supplying the dead register, when one exists (lets the
+    #: soundness oracle replay the exact argument behind the verdict)
+    source_pc: Optional[int] = None
 
 
 @dataclass
@@ -85,6 +88,9 @@ class StaticReuseEstimator:
     def __init__(self, program: Program) -> None:
         self.program = program
         self.facts = ProgramFacts(program)
+        #: per-loop def-site cache: every load in a loop shares the same
+        #: def map, so compute it once per loop rather than once per load.
+        self._loop_defs: Dict[Loop, Dict[Reg, Set[int]]] = {}
 
     # ------------------------------------------------------------------
     def estimate(self) -> StaticReuseEstimate:
@@ -109,12 +115,12 @@ class StaticReuseEstimator:
             return LoadClassification(pc, ReuseClass.NONE, "malformed load")
 
         defs_in_loop = self._defs_in_loop(loop)
-        base_invariant = inst.src1.is_zero or inst.src1 not in defs_in_loop
-        memory_invariant = not self._store_may_clobber(loop, inst.src1, inst.imm, defs_in_loop)
+        base_invariant = self._address_invariant(loop, pc, defs_in_loop)
+        memory_invariant = self._memory_invariant(loop, pc, defs_in_loop)
         if not (base_invariant and memory_invariant):
             # The repeating-value argument needs both; a dead copy of a
             # varying value is still checked below.
-            dead = self._dead_holder(facts, pc, loop, value_repeats=False)
+            dead = self._dead_holder(facts, pc, loop, defs_in_loop, value_repeats=False)
             if dead is not None:
                 return dead
             why = "address varies in loop" if not base_invariant else "loop contains a store"
@@ -125,7 +131,7 @@ class StaticReuseEstimator:
             return LoadClassification(
                 pc, ReuseClass.SAME, "invariant address and destination untouched in loop"
             )
-        dead = self._dead_holder(facts, pc, loop, value_repeats=True)
+        dead = self._dead_holder(facts, pc, loop, defs_in_loop, value_repeats=True)
         if dead is not None:
             return dead
         return LoadClassification(
@@ -133,13 +139,44 @@ class StaticReuseEstimator:
         )
 
     # ------------------------------------------------------------------
+    # Overridable judgement hooks (the symbolic estimator replaces these
+    # register-name arguments with SSA-level symbolic-address facts).
+    # ------------------------------------------------------------------
+    def _address_invariant(self, loop: Loop, pc: int, defs_in_loop: Dict[Reg, Set[int]]) -> bool:
+        """Is the load's address the same on every iteration of ``loop``?"""
+        base = self.program[pc].src1
+        return base.is_zero or base not in defs_in_loop
+
+    def _memory_invariant(self, loop: Loop, pc: int, defs_in_loop: Dict[Reg, Set[int]]) -> bool:
+        """Can no store in ``loop`` change what the load at ``pc`` reads?"""
+        inst = self.program[pc]
+        return not self._store_may_clobber(loop, inst.src1, inst.imm, defs_in_loop)
+
+    def _sibling_shares_address(
+        self, loop: Loop, pc: int, other_pc: int, defs_in_loop: Dict[Reg, Set[int]]
+    ) -> bool:
+        """Do the loads at ``pc`` and ``other_pc`` read the same unclobbered cell?"""
+        inst, other = self.program[pc], self.program[other_pc]
+        if other.src1 != inst.src1 or (other.imm or 0) != (inst.imm or 0):
+            return False
+        if other.src1 is not None and not other.src1.is_zero and other.src1 in defs_in_loop:
+            return False  # address register varies between the two loads
+        if self._store_may_clobber(loop, other.src1, other.imm, defs_in_loop):
+            return False  # memory may change between the sibling loads
+        return True
+
+    # ------------------------------------------------------------------
     def _defs_in_loop(self, loop: Loop) -> Dict[Reg, Set[int]]:
         """Explicitly defined registers inside the loop body -> defining pcs."""
+        cached = self._loop_defs.get(loop)
+        if cached is not None:
+            return cached
         defs: Dict[Reg, Set[int]] = {}
         for pc in loop.body:
             written = self.program[pc].writes
             if written is not None:
                 defs.setdefault(written, set()).add(pc)
+        self._loop_defs[loop] = defs
         return defs
 
     def _loop_has_store(self, loop: Loop) -> bool:
@@ -160,14 +197,21 @@ class StaticReuseEstimator:
             store = self.program[pc]
             if not store.is_store or store.src1 != base:
                 continue
-            if base_varies or store.src1 in defs_in_loop:
+            # store.src1 == base here, so base_varies already answers
+            # "does this store's address register vary in the loop".
+            if base_varies:
                 return True
             if (store.imm or 0) == (offset or 0):
                 return True
         return False
 
     def _dead_holder(
-        self, facts: ProcedureFacts, pc: int, loop: Loop, value_repeats: bool
+        self,
+        facts: ProcedureFacts,
+        pc: int,
+        loop: Loop,
+        defs_in_loop: Dict[Reg, Set[int]],
+        value_repeats: bool,
     ) -> Optional[LoadClassification]:
         """A same-class register provably holding the load's value, dead at pc."""
         inst = self.program[pc]
@@ -186,19 +230,14 @@ class StaticReuseEstimator:
                     )
         # A sibling load of the same invariant (base, offset) in the loop
         # leaves the value in its own destination.
-        defs_in_loop = self._defs_in_loop(loop)
         for other_pc in sorted(loop.body):
             other = self.program[other_pc]
             if other_pc == pc or not other.is_load or other.dst is None:
                 continue
             if dst is None or other.dst == dst or other.dst.kind != dst.kind:
                 continue
-            if other.src1 != inst.src1 or (other.imm or 0) != (inst.imm or 0):
+            if not self._sibling_shares_address(loop, pc, other_pc, defs_in_loop):
                 continue
-            if other.src1 is not None and not other.src1.is_zero and other.src1 in defs_in_loop:
-                continue  # address register varies between the two loads
-            if self._store_may_clobber(loop, other.src1, other.imm, defs_in_loop):
-                continue  # memory may change between the sibling loads
             holder = other.dst
             if any(other_def != other_pc for other_def in defs_in_loop.get(holder, ())):
                 continue  # holder clobbered elsewhere in the loop
@@ -207,6 +246,7 @@ class StaticReuseEstimator:
                     pc, ReuseClass.DEAD,
                     f"sibling load at pc {other_pc} leaves value in dead {holder.name}",
                     source_reg=holder,
+                    source_pc=other_pc,
                 )
         return None
 

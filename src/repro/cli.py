@@ -329,17 +329,54 @@ def _lint_one(session, name: str, variant: str, args: argparse.Namespace):
     return program, lists, lvr_pcs
 
 
+def _sorted_classes(estimate) -> dict:
+    """Deterministic per-class pc lists for JSON output."""
+    from .analysis.reuse_static import ReuseClass
+
+    return {
+        cls.value: sorted(pc for pc, v in estimate.loads.items() if v.reuse is cls)
+        for cls in (ReuseClass.SAME, ReuseClass.DEAD, ReuseClass.LAST_VALUE)
+    }
+
+
 def _reuse_report(session, name: str, args: argparse.Namespace):
     from .analysis.reuse_static import StaticReuseEstimator, compare_with_profile, reuse_by_loop_depth
+    from .ir.nodes import IRError
 
     program = session.workload(name).program
     profile = session.train_artifacts(name, 1.0, args.max_insts).profile
     lists = session.profile_lists(name, 1.0, args.max_insts, args.threshold, loads_only=True)
     estimate = StaticReuseEstimator(program).estimate()
     report = compare_with_profile(estimate, profile, lists)
+    report["static_classes"] = _sorted_classes(estimate)
     by_depth = reuse_by_loop_depth(program, estimate, lists)
     if by_depth is not None:  # IR-lowered programs carry a source map
         report["by_loop_depth"] = by_depth
+
+    # Symbolic (absint-backed) side-by-side, when the program raises to SSA.
+    try:
+        from .analysis.reuse_symbolic import (
+            SymbolicReuseEstimator,
+            candidate_overlap,
+            select_rvp_candidates,
+            symbolic_reuse_by_depth,
+        )
+
+        sym = SymbolicReuseEstimator(program)
+    except IRError:
+        report["symbolic"] = None
+        return report
+    sym_estimate = sym.estimate()
+    sym_report = compare_with_profile(sym_estimate, profile, lists)
+    candidates = select_rvp_candidates(program, sym_estimate)
+    report["symbolic"] = {
+        "static_counts": sym_report["static_counts"],
+        "overlap": sym_report["overlap"],
+        "weighted_static_fractions": sym_report["weighted_static_fractions"],
+        "static_classes": _sorted_classes(sym_estimate),
+        "candidate_overlap": candidate_overlap(candidates, lists),
+        "by_loop_depth": symbolic_reuse_by_depth(sym.absint, sym_estimate, lists),
+    }
     return report
 
 
@@ -434,13 +471,190 @@ def _cmd_lint(args: argparse.Namespace) -> int:
                         f"profiled same {bucket['profiled_same']}, dead {bucket['profiled_dead']}, "
                         f"lv {bucket['profiled_last_value']}"
                     )
+                symbolic = entry.get("symbolic")
+                if symbolic is not None:
+                    counts = symbolic["static_counts"]
+                    cand = symbolic["candidate_overlap"]
+                    print(
+                        f"  symbolic: same {counts['same']}, dead {counts['dead']}, "
+                        f"lv {counts['last_value']}; candidates vs profiled — "
+                        f"same {cand['same']['both']}/{cand['same']['profiled']}, "
+                        f"dead {cand['dead']['both']}/{cand['dead']['profiled']}, "
+                        f"lv {cand['last_value']['both']}/{cand['last_value']['profiled']}"
+                    )
+                    for depth, bucket in symbolic["by_loop_depth"].items():
+                        reuse = bucket["trip_weighted_reuse"]
+                        reuse_text = f"{reuse:.1%}" if reuse is not None else "n/a"
+                        print(
+                            f"  symbolic depth {depth}: {bucket['loads']} load(s) — "
+                            f"same {bucket['same']}, dead {bucket['dead']}, lv {bucket['last_value']}; "
+                            f"trip-weighted reuse {reuse_text}"
+                        )
+    gap_failures = []
+    if args.reuse_report and args.max_gap is not None:
+        for entry in payload["reuse_report"]:
+            weighted = entry["weighted_static_fractions"]
+            fig1 = entry["profiled_fig1_fractions"]
+            for cls in ("same", "dead", "last_value"):
+                gap = abs(weighted.get(cls, 0.0) - fig1.get(cls, 0.0))
+                if gap > args.max_gap:
+                    gap_failures.append(f"{entry['program']}: {cls} gap {gap:.3f} > {args.max_gap}")
+        payload["max_gap_failures"] = gap_failures
+        if gap_failures and not args.json:
+            print()
+            for line in gap_failures:
+                print(f"lint: reuse gap exceeded — {line}")
     if args.json:
-        print(json.dumps(payload, indent=2))
+        print(json.dumps(payload, indent=2, sort_keys=True))
     elif len(reports) > 1:
         total_err = sum(r["summary"]["error"] for r in reports)
         total_warn = sum(r["summary"]["warning"] for r in reports)
         print(f"\nlint: {len(reports)} target(s), {total_err} error(s), {total_warn} warning(s)")
-    return 1 if any_errors else 0
+    if any_errors:
+        return 1
+    return 3 if gap_failures else 0
+
+
+def _cmd_analyze(args: argparse.Namespace) -> int:
+    """Abstract-interpretation facts + profile-free RVP candidate report."""
+    import json
+
+    from .analysis.absint import ProgramAbsint
+    from .analysis.reuse_static import StaticReuseEstimator
+    from .analysis.reuse_symbolic import (
+        SymbolicReuseEstimator,
+        candidate_overlap,
+        select_rvp_candidates,
+        symbolic_reuse_by_depth,
+    )
+    from .core.session import get_session
+    from .ir.nodes import IRError
+    from .isa.opcodes import OpKind
+    from .testing import GeneratorConfig, generate_case
+
+    names = sorted(WORKLOAD_CLASSES) if args.all else list(args.workload)
+    unknown = [name for name in names if name not in WORKLOAD_CLASSES]
+    if unknown:
+        print(f"analyze: unknown workload(s) {', '.join(unknown)}", file=sys.stderr)
+        return 2
+    if not names and not args.generated:
+        print("analyze: nothing to analyze (name workloads, or use --all / --generated N)", file=sys.stderr)
+        return 2
+
+    session = get_session() if names else None
+    failures: List[str] = []
+    entries = []
+
+    def absint_summary(absint, program) -> dict:
+        return {
+            "induction": [
+                {
+                    "function": fn,
+                    "header": fact.header,
+                    "stride": fact.stride,
+                    "depth": fact.depth,
+                    "trip": fact.trip,
+                }
+                for fn, fact in absint.induction_facts()
+            ],
+            "unreachable_pcs": sorted(absint.unreachable_pcs()),
+            "decided_branches": sorted(
+                inst.pc
+                for inst in program
+                if inst.op.kind is OpKind.BRANCH and absint.branch_decision(inst.pc) is not None
+            ),
+        }
+
+    for name in names:
+        program = session.workload(name).program
+        entry: dict = {"target": name}
+        try:
+            sym = SymbolicReuseEstimator(program)
+        except IRError as exc:
+            entry["error"] = str(exc)
+            failures.append(f"{name}: cannot analyze — {exc}")
+            entries.append(entry)
+            continue
+        entry.update(absint_summary(sym.absint, program))
+        heur_estimate = StaticReuseEstimator(program).estimate()
+        sym_estimate = sym.estimate()
+        entry["heuristic_counts"] = heur_estimate.counts()
+        entry["symbolic_counts"] = sym_estimate.counts()
+        lists = session.profile_lists(name, 1.0, args.max_insts, args.threshold, loads_only=True)
+        sym_overlap = candidate_overlap(select_rvp_candidates(program, sym_estimate), lists)
+        heur_overlap = candidate_overlap(select_rvp_candidates(program, heur_estimate), lists)
+        entry["candidate_overlap"] = sym_overlap
+        entry["heuristic_candidate_overlap"] = heur_overlap
+        entry["by_loop_depth"] = symbolic_reuse_by_depth(sym.absint, sym_estimate, lists)
+        for cls in ("same", "dead"):
+            if sym_overlap[cls]["both"] < heur_overlap[cls]["both"]:
+                failures.append(
+                    f"{name}: symbolic {cls} candidates agree with the profile on "
+                    f"{sym_overlap[cls]['both']} site(s), heuristic on {heur_overlap[cls]['both']}"
+                )
+        entries.append(entry)
+
+    for i in range(args.generated):
+        case = generate_case(args.seed + i, GeneratorConfig())
+        label = f"gen[{case.seed}]"
+        entry = {"target": label}
+        try:
+            absint = ProgramAbsint(case.program)
+        except IRError as exc:
+            entry["error"] = str(exc)
+            failures.append(f"{label}: cannot analyze — {exc}")
+            entries.append(entry)
+            continue
+        entry.update(absint_summary(absint, case.program))
+        entries.append(entry)
+
+    payload = {"ok": not failures, "targets": entries, "failures": failures}
+    if args.json:
+        print(json.dumps(payload, indent=2, sort_keys=True))
+    else:
+        for entry in entries:
+            label = entry["target"]
+            if "error" in entry:
+                print(f"{label}: ANALYSIS FAILED — {entry['error']}")
+                continue
+            ivs = entry["induction"]
+            trips = [fact for fact in ivs if fact["trip"] is not None]
+            print(
+                f"{label}: {len(ivs)} induction variable(s) ({len(trips)} with proven trip), "
+                f"{len(entry['decided_branches'])} decided branch(es), "
+                f"{len(entry['unreachable_pcs'])} interval-unreachable pc(s)"
+            )
+            for fact in ivs:
+                trip = f", trip {fact['trip']}" if fact["trip"] is not None else ""
+                print(
+                    f"  iv {fact['function']}/{fact['header']}: stride {fact['stride']}, "
+                    f"depth {fact['depth']}{trip}"
+                )
+            if "symbolic_counts" in entry:
+                heur, symc = entry["heuristic_counts"], entry["symbolic_counts"]
+                cand, hcand = entry["candidate_overlap"], entry["heuristic_candidate_overlap"]
+                print(
+                    f"  classes: heuristic same {heur['same']}/dead {heur['dead']}/lv {heur['last_value']} — "
+                    f"symbolic same {symc['same']}/dead {symc['dead']}/lv {symc['last_value']}"
+                )
+                print(
+                    f"  candidates vs profiled: symbolic same {cand['same']['both']}, dead {cand['dead']['both']} "
+                    f"(heuristic same {hcand['same']['both']}, dead {hcand['dead']['both']})"
+                )
+                for depth, bucket in entry["by_loop_depth"].items():
+                    reuse = bucket["trip_weighted_reuse"]
+                    reuse_text = f", trip-weighted reuse {reuse:.1%}" if reuse is not None else ""
+                    print(
+                        f"  depth {depth}: {bucket['loads']} load(s), same {bucket['same']}, "
+                        f"dead {bucket['dead']}, lv {bucket['last_value']}{reuse_text}"
+                    )
+        if failures:
+            print()
+            for line in failures:
+                print(f"analyze: {line}")
+    if failures and args.strict:
+        return 1
+    return 0
 
 
 def _cmd_ir(args: argparse.Namespace) -> int:
@@ -777,7 +991,31 @@ def build_parser() -> argparse.ArgumentParser:
     )
     lint_parser.add_argument("--max-insts", type=int, default=40_000, help="profiling budget for variant construction")
     lint_parser.add_argument("--threshold", type=float, default=0.8, help="profile predictability threshold")
+    lint_parser.add_argument(
+        "--max-gap", type=float, default=None, metavar="FRACTION",
+        help="with --reuse-report: exit 3 when any workload's |static - profiled| "
+        "dynamic-weighted reuse fraction (same/dead/last_value) exceeds FRACTION",
+    )
     lint_parser.set_defaults(fn=_cmd_lint)
+
+    analyze_parser = sub.add_parser(
+        "analyze", help="abstract-interpretation facts and profile-free RVP candidate selection"
+    )
+    analyze_parser.add_argument(
+        "workload", nargs="*", metavar="WORKLOAD",
+        help="workloads to analyze (default: none; use --all for every workload)",
+    )
+    analyze_parser.add_argument("--all", action="store_true", help="analyze every registered workload")
+    analyze_parser.add_argument("--generated", type=int, default=0, metavar="N", help="also analyze N generated programs")
+    analyze_parser.add_argument("--seed", type=int, default=0, help="first generator seed for --generated")
+    analyze_parser.add_argument("--json", action="store_true", help="emit JSON instead of text")
+    analyze_parser.add_argument(
+        "--strict", action="store_true",
+        help="exit 1 when any program fails to analyze or symbolic candidates fall behind the heuristic",
+    )
+    analyze_parser.add_argument("--max-insts", type=int, default=40_000, help="profiling budget for the overlap report")
+    analyze_parser.add_argument("--threshold", type=float, default=0.8, help="profile predictability threshold")
+    analyze_parser.set_defaults(fn=_cmd_analyze)
 
     from .testing.oracles import ORACLE_FAMILIES
 
@@ -786,7 +1024,7 @@ def build_parser() -> argparse.ArgumentParser:
     fuzz_parser.add_argument("--runs", type=int, default=100, help="number of generated programs")
     fuzz_parser.add_argument(
         "--oracle", nargs="+", choices=list(ORACLE_FAMILIES), default=None,
-        help="oracle families to apply (default: all four)",
+        help="oracle families to apply (default: all five)",
     )
     fuzz_parser.add_argument("--no-shrink", action="store_true", help="report failures without minimising them")
     fuzz_parser.add_argument("--json", action="store_true", help="emit the campaign report as JSON")

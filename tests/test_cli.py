@@ -182,6 +182,81 @@ def test_lint_reuse_report(capsys):
     assert set(entry["static_counts"]) == {"same", "dead", "last_value", "none"}
 
 
+def test_lint_max_gap_exit_three(capsys):
+    import json
+
+    # A zero tolerance always trips on real workloads: static weighted
+    # fractions never match the profiled Figure-1 fractions exactly.
+    code, out = run_cli(
+        capsys, "lint", "li", "--max-insts", "4000",
+        "--reuse-report", "--max-gap", "0.0", "--json",
+    )
+    assert code == 3
+    payload = json.loads(out)
+    assert payload["ok"] is True  # no lint errors: the gap alone caused exit 3
+    assert any("gap" in line for line in payload["max_gap_failures"])
+
+
+def test_lint_max_gap_within_tolerance(capsys):
+    code, _ = run_cli(
+        capsys, "lint", "li", "--max-insts", "4000",
+        "--reuse-report", "--max-gap", "1.0",
+    )
+    assert code == 0
+
+
+def test_analyze_workload(capsys):
+    code, out = run_cli(capsys, "analyze", "li", "--max-insts", "4000")
+    assert code == 0
+    assert "li" in out
+
+
+def test_analyze_json_payload(capsys):
+    import json
+
+    code, out = run_cli(capsys, "analyze", "li", "--max-insts", "4000", "--json")
+    assert code == 0
+    payload = json.loads(out)
+    assert payload["ok"] is True and payload["failures"] == []
+    (target,) = payload["targets"]
+    assert target["target"] == "li"
+    for key in (
+        "induction", "unreachable_pcs", "decided_branches",
+        "heuristic_counts", "symbolic_counts",
+        "candidate_overlap", "heuristic_candidate_overlap", "by_loop_depth",
+    ):
+        assert key in target
+    # Acceptance invariant the command enforces under --strict: symbolic
+    # candidates overlap the profiled lists at least as well as heuristic.
+    for cls in ("same", "dead"):
+        assert (
+            target["candidate_overlap"][cls]["both"]
+            >= target["heuristic_candidate_overlap"][cls]["both"]
+        )
+
+
+def test_analyze_generated_programs(capsys):
+    import json
+
+    code, out = run_cli(capsys, "analyze", "--generated", "2", "--seed", "3", "--json")
+    assert code == 0
+    payload = json.loads(out)
+    assert len(payload["targets"]) == 2
+    for target in payload["targets"]:
+        assert {"induction", "unreachable_pcs", "decided_branches"} <= set(target)
+
+
+def test_analyze_unknown_workload_exits_two(capsys):
+    code, out, err = run_cli_err(capsys, "analyze", "gcc")
+    assert code == 2
+    assert "gcc" in err
+
+
+def test_analyze_nothing_exits_two(capsys):
+    code, out, err = run_cli_err(capsys, "analyze")
+    assert code == 2
+
+
 def test_bad_workload_rejected():
     parser = build_parser()
     with pytest.raises(SystemExit):
@@ -209,7 +284,8 @@ def test_fuzz_command_json(capsys):
     assert payload["ok"] is True
     assert payload["checked"] == 3
     assert payload["failures"] == []
-    assert len(payload["oracles"]) == 4
+    assert len(payload["oracles"]) == 5
+    assert "absint-soundness" in payload["oracles"]
 
 
 def test_fuzz_command_oracle_subset(capsys):
