@@ -839,6 +839,8 @@ def _cmd_bench(args: argparse.Namespace) -> int:
             max_instructions=args.max_insts,
             repeats=args.repeats,
         )
+    if args.lanes is not None:
+        config.lanes = args.lanes
     try:
         config = config.validated()
     except ValueError as exc:
@@ -893,12 +895,19 @@ def _cmd_bench(args: argparse.Namespace) -> int:
               f"({summary['fast_speedup_geomean']:.1f}x), "
               f"trace {summary['trace_minstr_s_geomean']:.2f} Minstr/s "
               f"({summary['trace_speedup_geomean']:.1f}x)")
+        print(f"engines:  jit {summary['jit_minstr_s_geomean']:.2f} Minstr/s, "
+              f"batched {summary['batched_minstr_s_per_lane_geomean']:.2f} M lane-instr/s "
+              f"({config.lanes} lanes)")
         print(f"pipeline: {summary['pipeline_cycles_per_s_geomean']:,.0f} cycles/s")
         for name, result in payload["results"]["session"].items():
             print(f"session:  {name} cold {result['cold_s'] * 1e3:.1f} ms, "
                   f"warm {result['warm_s'] * 1e6:.0f} us")
         for entry in comparisons:
-            if entry["status"] != "ok":
+            if entry["status"] == "missing":
+                print(f"MISSING: {entry['metric']} has no value in "
+                      f"{os.path.basename(baseline_path)}; gate arms once a baseline "
+                      f"with this series is committed (current {entry['current']:.3g})")
+            elif entry["status"] != "ok":
                 print(f"{entry['status'].upper()}: {entry['metric']} dropped "
                       f"{entry['drop']:.1%} vs {os.path.basename(baseline_path)} "
                       f"({entry['baseline']:.3g} -> {entry['current']:.3g})")
@@ -1073,6 +1082,9 @@ def build_parser() -> argparse.ArgumentParser:
     )
     bench_parser.add_argument("--max-insts", type=int, default=40_000, help="committed-instruction budget per run")
     bench_parser.add_argument("--repeats", type=int, default=3, help="timed repetitions per section (best kept)")
+    bench_parser.add_argument(
+        "--lanes", type=int, default=None, help="batch width for the batched-engine series (default 32)"
+    )
     bench_parser.add_argument("--json", action="store_true", help="emit the full payload as JSON on stdout")
     bench_parser.add_argument("--out", metavar="FILE", help="write the payload to FILE instead of BENCH_<n>.json")
     bench_parser.add_argument(

@@ -50,6 +50,7 @@ is what ``repro run --resume`` replays.
 
 from __future__ import annotations
 
+import hashlib
 import os
 import time
 from collections import Counter, OrderedDict
@@ -134,6 +135,7 @@ class SimSession:
         self._realloc: Dict[Tuple, ReallocReport] = {}
         self._traces: "OrderedDict[Tuple, Tuple[TraceRecord, ...]]" = OrderedDict()
         self._trace_resident_bytes = 0
+        self._batches: Dict[Tuple, Dict[str, Dict[str, object]]] = {}
 
     @staticmethod
     def _trace_cost(trace: Tuple[TraceRecord, ...]) -> int:
@@ -309,6 +311,75 @@ class SimSession:
         return trace
 
     # ------------------------------------------------------------------
+    # Batched digests (one fused run per program across its inputs)
+    # ------------------------------------------------------------------
+    @staticmethod
+    def _lane_digest(lane) -> str:
+        """Canonical hash of one lane's final architectural outcome.
+
+        Covers pc, both register files, commit count, halt status and every
+        nonzero memory word (:class:`~repro.sim.memory.Memory` equality is
+        modulo zero words, so the digest must be too).
+        """
+        hasher = hashlib.sha256()
+        state = lane.state
+        words = sorted(
+            (index, value)
+            for index, value in getattr(lane.memory, "_words", {}).items()
+            if value
+        )
+        payload = (state.pc, lane.instructions, lane.halted, tuple(state.int_regs), tuple(state.fp_regs), tuple(words))
+        hasher.update(repr(payload).encode())
+        return hasher.hexdigest()
+
+    def batch_digests(
+        self,
+        name: str,
+        scale: float,
+        max_instructions: int,
+        input_names: Sequence[str] = ("ref", "train"),
+        variant: str = "base",
+        threshold: Optional[float] = None,
+        default_threshold: float = 0.8,
+    ) -> Dict[str, Dict[str, object]]:
+        """Per-input digests of one program variant via a single fused run.
+
+        All the inputs of one program become lanes of one
+        :func:`~repro.sim.batched.run_batch` call — one decode, one vector
+        loop — instead of N scalar runs.  Keys follow the same canonical
+        value-key rules as every other session cache, so campaign cells that
+        share a program share the batch.
+        """
+        variant, eff_threshold = canonical_variant_key(variant, threshold, default_threshold)
+        key = (name, scale, max_instructions, variant, eff_threshold, tuple(input_names))
+        metrics = get_metrics()
+        cached = self._batches.get(key)
+        if cached is not None:
+            metrics.inc("session.batch.hits")
+            return cached
+        metrics.inc("session.batch.misses")
+        from ..sim.batched import run_batch
+
+        program = self.program_variant(
+            name, scale, max_instructions, variant, eff_threshold, default_threshold
+        )
+        workload = self.workload(name, scale)
+        memories = [workload.memory(input_name) for input_name in input_names]
+        with metrics.timer("sim.wall"):
+            lanes = run_batch(program, memories, max_instructions=max_instructions)
+        digests: Dict[str, Dict[str, object]] = {}
+        for input_name, lane in zip(input_names, lanes):
+            if lane.error is not None:
+                raise lane.error
+            digests[input_name] = {
+                "digest": self._lane_digest(lane),
+                "instructions": lane.instructions,
+                "halted": lane.halted,
+            }
+        self._batches[key] = digests
+        return digests
+
+    # ------------------------------------------------------------------
     # Maintenance
     # ------------------------------------------------------------------
     def cache_stats(self) -> Dict[str, int]:
@@ -321,6 +392,7 @@ class SimSession:
             "realloc_reports": len(self._realloc),
             "traces": len(self._traces),
             "trace_bytes": self._trace_resident_bytes,
+            "batch_digests": len(self._batches),
         }
 
     def reset(self) -> None:
@@ -332,6 +404,7 @@ class SimSession:
         self._realloc.clear()
         self._traces.clear()
         self._trace_resident_bytes = 0
+        self._batches.clear()
 
 
 #: The process-wide session every ExperimentRunner shares by default.

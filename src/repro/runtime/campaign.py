@@ -24,6 +24,8 @@ else in the spec is plain numbers and strings for the same reason.
 
 from __future__ import annotations
 
+import json
+import os
 import signal
 import threading
 from contextlib import contextmanager
@@ -31,8 +33,9 @@ from dataclasses import dataclass, field, replace
 from typing import Callable, Dict, List, Optional, Sequence, Tuple
 
 from ..core.experiment import ExperimentResult
-from ..core.session import ParallelSuiteRunner, SuiteCell
+from ..core.session import ParallelSuiteRunner, SuiteCell, get_session
 from ..uarch.config import MachineConfig, aggressive_config, table1_config
+from .atomic import atomic_write_json
 from .journal import OK, PENDING, RunJournal, new_run_id
 
 #: Machine configurations a campaign can name (names go into the fingerprint).
@@ -111,6 +114,69 @@ class CampaignSpec:
         return replace(self, jobs=jobs)
 
 
+def batch_sidecar_path(out_dir: str, run_id: str) -> str:
+    """Path of the fused-batch digest sidecar for one campaign run."""
+    return os.path.join(out_dir, f"{run_id}.batches.json")
+
+
+def compute_batch_digests(spec: CampaignSpec) -> Dict[str, Dict[str, Dict[str, object]]]:
+    """Fused per-workload functional digests for every workload in the grid.
+
+    All of a campaign's cells for one workload share the same base program
+    and inputs — only the predictor/recovery configuration varies — so their
+    functional outcome is one shared artifact.  A single
+    :func:`~repro.sim.batched.run_batch` call per workload (inputs as lanes)
+    replaces N scalar warm-up runs, and the resulting digests pin the
+    workload's architectural behaviour for the run's lifetime: a resume
+    recomputes them and refuses to continue into a grid whose programs or
+    inputs no longer produce the journaled results.
+    """
+    session = get_session()
+    return {
+        workload: session.batch_digests(
+            workload,
+            spec.scale,
+            spec.max_instructions,
+            threshold=spec.threshold,
+        )
+        for workload in spec.workloads
+    }
+
+
+def _write_batch_sidecar(out_dir: str, run_id: str, spec: CampaignSpec) -> Dict:
+    digests = compute_batch_digests(spec)
+    atomic_write_json(batch_sidecar_path(out_dir, run_id), digests)
+    return digests
+
+
+def _verify_batch_sidecar(out_dir: str, run_id: str, spec: CampaignSpec) -> Dict:
+    """On resume: recompute the fused digests and compare with the sidecar.
+
+    A missing sidecar (campaign predates the feature, or was killed before
+    the write) is backfilled silently; a *divergent* one means the programs
+    or inputs drifted between run and resume, which would silently mix
+    incompatible results — that is an error, mirroring the journal's config
+    fingerprint check.
+    """
+    digests = compute_batch_digests(spec)
+    path = batch_sidecar_path(out_dir, run_id)
+    if not os.path.exists(path):
+        atomic_write_json(path, digests)
+        return digests
+    with open(path, "r", encoding="utf-8") as handle:
+        stored = json.load(handle)
+    if stored != digests:
+        drifted = sorted(
+            name for name in set(stored) | set(digests) if stored.get(name) != digests.get(name)
+        )
+        raise ValueError(
+            f"batch digest mismatch on resume of run {run_id!r}: workload(s) "
+            f"{', '.join(drifted)} no longer reproduce the journaled functional "
+            f"state; refusing to mix incompatible results"
+        )
+    return digests
+
+
 @dataclass
 class CampaignReport:
     """What one (possibly resumed) campaign run produced."""
@@ -130,6 +196,9 @@ class CampaignReport:
     executed: int = 0
     resumed: bool = False
     used_processes: bool = False
+    #: workload -> input -> fused-batch digest record (see
+    #: :func:`compute_batch_digests`).
+    batch_digests: Dict[str, Dict[str, Dict[str, object]]] = field(default_factory=dict)
 
     @property
     def complete(self) -> bool:
@@ -242,11 +311,14 @@ def run_campaign(
     """Execute a fresh campaign with a new journal under ``out_dir``."""
     run_id = run_id if run_id is not None else new_run_id()
     journal = RunJournal.create(out_dir, run_id, spec.config_dict(), spec.cell_ids())
-    return _execute(
+    digests = _write_batch_sidecar(out_dir, run_id, spec)
+    report = _execute(
         spec, journal, spec.cells(), restored={}, resumed=False,
         machine=machine, retries=retries, cell_timeout=cell_timeout,
         executor_factory=executor_factory,
     )
+    report.batch_digests = digests
+    return report
 
 
 def resume_campaign(
@@ -277,8 +349,11 @@ def resume_campaign(
             restored[cell_id] = ExperimentResult.from_dict(entry["result"])
     pending_ids = set(journal.pending_cells())
     cells_to_run = [cell for cell in header_spec.cells() if cell.cell_id in pending_ids]
-    return _execute(
+    digests = _verify_batch_sidecar(out_dir, run_id, header_spec)
+    report = _execute(
         header_spec, journal, cells_to_run, restored=restored, resumed=True,
         machine=machine, retries=retries, cell_timeout=cell_timeout,
         executor_factory=executor_factory,
     )
+    report.batch_digests = digests
+    return report

@@ -1,5 +1,6 @@
 """Functional simulation substrate: memory, architectural state, interpreter, traces."""
 
+from .batched import LaneResult, run_batch
 from .decoded import DecodedProgram, decode
 from .functional import (
     DEFAULT_ENGINE,
@@ -9,6 +10,7 @@ from .functional import (
     run_program,
     stream_program,
 )
+from .jit import JitProgram, jit_decode
 from .machine import ArchState
 from .memory import WORD_BYTES, Memory
 from .trace import TraceRecord
@@ -17,6 +19,10 @@ __all__ = [
     "DEFAULT_ENGINE",
     "DecodedProgram",
     "decode",
+    "LaneResult",
+    "run_batch",
+    "JitProgram",
+    "jit_decode",
     "FunctionalSimulator",
     "RunResult",
     "SimulationError",

@@ -1,0 +1,367 @@
+"""Trace-JIT execution tier: hot basic blocks compiled to Python source.
+
+The decoded engine (PR 4) pays one closure dispatch per instruction.  This
+tier stitches each *hot basic block* into one **superinstruction**: a Python
+function generated from the block's instructions, ``compile()``d once per
+Program, with every operand slot, immediate and branch condition inlined as
+constants.  Executing a block of k instructions then costs one Python call
+instead of k dispatches, and CPython folds the straight-line statements into
+one code object with no interpreter-loop round trips between them.
+
+Discipline (why this stays byte-identical to the decoded engine):
+
+* **Blocks are straight-line.**  ``Program.basic_blocks`` guarantees control
+  flow and halts only in a block's final slot, so a superinstruction is a
+  statement list plus one terminal ``return next_pc`` (``-1`` for halt).
+* **Hotness threshold.**  A block head must be entered
+  :data:`JIT_THRESHOLD` times (``REPRO_JIT_THRESHOLD``) before its source is
+  generated and compiled; cold blocks and non-head pcs (e.g. a computed jump
+  into the middle of a block) run on the decoded handler table.  Counters
+  persist on the memoized :class:`JitProgram`, so hotness carries across
+  runs of the same program — results never depend on it, only compile time.
+* **Budget guard.**  A superinstruction is dispatched only when the whole
+  block fits the remaining instruction budget (``executed + len(block) <=
+  max_instructions``); otherwise the engine falls back to single decoded
+  steps, so a budget exhausted mid-block leaves *exactly* the same state and
+  commit count as the decoded engine.
+* **Guard exits on faults.**  Every generated block body runs under a
+  ``try``/``except`` that records the index of the faulting instruction;
+  since the block is straight-line, the faulting pc is ``start + index`` and
+  the commit count advances by ``index`` — identical to decoded-engine fault
+  fidelity (same exception, same ``state.pc``, same commit count).
+
+The reference engine remains the oracle: the trace-equivalence fuzz oracle
+cross-checks this tier on every generated program (full run and a truncated
+run that forces guard exits), and the golden engine matrix pins it against
+reference/decoded/batched on every workload variant.
+"""
+
+from __future__ import annotations
+
+import os
+from typing import Callable, Dict, List, Optional, Tuple
+
+from ..isa.opcodes import MASK64, SIGN_BIT, OpKind, _ALU_FNS
+from ..isa.program import Program
+from .decoded import decode
+
+__all__ = ["JIT_THRESHOLD", "JitProgram", "jit_decode"]
+
+#: Block-entry count after which a basic block is compiled.
+JIT_THRESHOLD = int(os.environ.get("REPRO_JIT_THRESHOLD", "16"))
+
+#: Mutation seam for the fuzz-oracle self-test: when True, the budget guard
+#: is skipped and a hot superinstruction is dispatched even when the block
+#: no longer fits the remaining budget (a seeded guard-exit defect — the
+#: run overcommits past ``max_instructions`` — that the jit oracle leg's
+#: truncated-run comparison must catch).
+_TEST_SKIP_BUDGET_GUARD = False
+
+_FN_NAME = {fn: name for name, fn in _ALU_FNS.items()}
+
+#: ALU semantics inlined as Python expressions (a/b are operand exprs).
+#: Only ops whose Python-int expression is exactly the reference ``alu_fn``
+#: are here; everything else calls the bound helper.
+_INLINE_EXPRS = {
+    "add": "({a} + {b}) & {m}",
+    "sub": "({a} - {b}) & {m}",
+    "mul": "({a} * {b}) & {m}",
+    "and": "({a} & {b}) & {m}",
+    "or": "({a} | {b}) & {m}",
+    "xor": "({a} ^ {b}) & {m}",
+    "sll": "({a} << ({b} & 63)) & {m}",
+    "srl": "(({a} & {m}) >> ({b} & 63))",
+    "mov": "({a}) & {m}",
+    "cmpeq": "(1 if ({a}) == ({b}) else 0)",
+    "cmpne": "(1 if ({a}) != ({b}) else 0)",
+    "cmpult": "(1 if ({a}) < ({b}) else 0)",
+}
+
+#: Flat branch conditions on the unsigned test value, as source templates.
+_COND_EXPRS = {
+    "beq": "{v} == 0",
+    "bne": "{v} != 0",
+    "blt": "{v} >= {sb}",
+    "ble": "({v} == 0 or {v} >= {sb})",
+    "bgt": "(0 < {v} < {sb})",
+    "bge": "{v} < {sb}",
+    "fbeq": "{v} == 0",
+    "fbne": "{v} != 0",
+}
+
+
+def _reg_expr(reg) -> str:
+    bank = "F" if reg.is_fp else "I"
+    return f"{bank}[{reg.index}]"
+
+
+def _block_source(program: Program, start: int, end: int) -> Tuple[str, List]:
+    """Generate the ``_bind`` source for the block ``[start, end)``.
+
+    Returns ``(source, helpers)`` where ``helpers`` are the Python callables
+    the generated code references as ``_h0, _h1, ...`` (non-inlinable alu
+    fns, bound once at block-bind time).
+    """
+    m = str(MASK64)
+    sb = str(SIGN_BIT)
+    helpers: List = []
+    lines: List[str] = []
+
+    def helper(fn) -> str:
+        helpers.append(fn)
+        return f"_h{len(helpers) - 1}"
+
+    for k, pc in enumerate(range(start, end)):
+        inst = program[pc]
+        op = inst.op
+        kind = op.kind
+        terminal = pc == end - 1
+        stmts: List[str] = []
+
+        if kind is OpKind.ALU:
+            sem = _FN_NAME.get(op.alu_fn)
+            dst = inst.writes
+            s1, s2 = inst.src1, inst.src2
+            if s1 is None:  # li / fli: decode-time constant
+                imm = inst.imm if inst.imm is not None else 0
+                if dst is not None:
+                    stmts.append(f"{_reg_expr(dst)} = {op.alu_fn(0, imm) & MASK64}")
+            elif dst is None:
+                # Computed, architecturally dropped: alu fns cannot fault,
+                # so a dropped-dest ALU op is a no-op here (the decoded
+                # engine computes and discards; observable state is equal).
+                pass
+            else:
+                a = _reg_expr(s1)
+                b = _reg_expr(s2) if s2 is not None else str(
+                    inst.imm if inst.imm is not None else 0
+                )
+                tpl = _INLINE_EXPRS.get(sem or "")
+                if tpl is not None:
+                    expr = tpl.format(a=a, b=b, m=m)
+                else:
+                    expr = f"({helper(op.alu_fn)}({a}, {b}) & {m})"
+                stmts.append(f"{_reg_expr(dst)} = {expr}")
+
+        elif kind is OpKind.LOAD:
+            base = _reg_expr(inst.src1)
+            off = inst.imm or 0
+            dst = inst.writes
+            stmts.append(f"_a = ({base} + {off}) & {m}")
+            stmts.append("if _a & 7:")
+            stmts.append(
+                "    raise ValueError(f\"unaligned access at address {_a:#x}\")"
+            )
+            if dst is not None:
+                stmts.append(f"{_reg_expr(dst)} = MG(_a >> 3)")
+            else:
+                stmts.append("MG(_a >> 3)")
+
+        elif kind is OpKind.STORE:
+            base = _reg_expr(inst.src1)
+            off = inst.imm or 0
+            stmts.append(f"_a = ({base} + {off}) & {m}")
+            stmts.append("if _a & 7:")
+            stmts.append(
+                "    raise ValueError(f\"unaligned access at address {_a:#x}\")"
+            )
+            stmts.append(f"MP(_a >> 3, {_reg_expr(inst.src2)})")
+
+        elif kind is OpKind.BRANCH:
+            cond = _COND_EXPRS[op.name].format(v=_reg_expr(inst.src1), sb=sb)
+            stmts.append(f"return {inst.target_pc} if {cond} else {pc + 1}")
+
+        elif kind is OpKind.JUMP:
+            stmts.append(f"return {inst.target_pc}")
+
+        elif kind is OpKind.CALL:
+            if inst.writes is not None:
+                stmts.append(f"{_reg_expr(inst.writes)} = {pc + 1}")
+            stmts.append(f"return {inst.target_pc}")
+
+        elif kind is OpKind.INDIRECT:
+            stmts.append(f"return {_reg_expr(inst.src1)}")
+
+        elif kind is OpKind.HALT:
+            stmts.append("return -1")
+
+        # NOP: no statements.
+
+        if terminal and (not stmts or not stmts[-1].startswith("return")):
+            stmts.append(f"return {end}")
+
+        lines.append(f"            n = {k}")
+        for s in stmts:
+            lines.append(f"            {s}")
+
+    unpack = ""
+    if helpers:
+        names = ", ".join(f"_h{j}" for j in range(len(helpers)))
+        trailer = "," if len(helpers) == 1 else ""
+        unpack = f"    {names}{trailer} = H\n"
+
+    src = (
+        "def _bind(I, F, MG, MP, cell, H):\n"
+        f"{unpack}"
+        "    def _block():\n"
+        "        n = 0\n"
+        "        try:\n"
+        + "\n".join(lines)
+        + "\n"
+        "        except BaseException:\n"
+        "            cell[0] = n\n"
+        "            raise\n"
+        "    return _block\n"
+    )
+    return src, helpers
+
+
+def _compile_block(program: Program, start: int, end: int) -> Callable:
+    """Compile block ``[start, end)``; returns ``binder(I, F, MG, MP, cell)``."""
+    src, helpers = _block_source(program, start, end)
+    code = compile(src, f"<jit:{program.name}@{start}>", "exec")
+    glb: Dict[str, object] = {"ValueError": ValueError, "BaseException": BaseException}
+    ns: Dict[str, object] = {}
+    exec(code, glb, ns)
+    bind_fn = ns["_bind"]
+    H = tuple(helpers)
+
+    def binder(I, F, MG, MP, cell):  # noqa: E741 - I mirrors int_regs
+        return bind_fn(I, F, MG, MP, cell, H)
+
+    return binder
+
+
+class JitProgram:
+    """Once-per-program JIT state: block map, hotness counters, code cache.
+
+    ``head_len[pc]`` is the block length when ``pc`` heads a multi-instruction
+    basic block, else 0.  ``counts`` accumulates block entries across runs;
+    a block is compiled (lazily, once) when its count crosses
+    :data:`JIT_THRESHOLD`.  Obtain via :func:`jit_decode`, which memoizes the
+    instance on the program like the decoded cache.
+    """
+
+    __slots__ = ("program", "head_len", "counts", "_binders", "blocks_compiled")
+
+    def __init__(self, program: Program) -> None:
+        self.program = program
+        self.head_len = [0] * len(program)
+        for proc in program.procedures:
+            for block in program.basic_blocks(proc):
+                if block.end - block.start >= 2:
+                    self.head_len[block.start] = block.end - block.start
+        self.counts: Dict[int, int] = {}
+        self._binders: Dict[int, Callable] = {}
+        self.blocks_compiled = 0
+
+    def binder(self, pc: int) -> Callable:
+        b = self._binders.get(pc)
+        if b is None:
+            b = _compile_block(self.program, pc, pc + self.head_len[pc])
+            self._binders[pc] = b
+            self.blocks_compiled += 1
+            from ..core.metrics import get_metrics
+
+            get_metrics().inc("sim.jit_blocks_compiled")
+        return b
+
+
+def jit_decode(program: Program) -> JitProgram:
+    """JIT-decode ``program`` once; repeated calls return the cached instance."""
+    cached: Optional[JitProgram] = getattr(program, "_jit_cache", None)
+    if cached is None:
+        cached = JitProgram(program)
+        program._jit_cache = cached  # type: ignore[attr-defined]
+    return cached
+
+
+def run_jit_fast(sim, max_instructions: int) -> None:
+    """Fast no-observer run loop for ``FunctionalSimulator(engine="jit")``.
+
+    Mirrors the decoded fast path's contract exactly: sets
+    ``sim.last_result``, preserves ``state.pc`` fault fidelity, enforces the
+    budget via ``sim._check_budget`` and bumps the same metrics family.
+    """
+    from ..core.metrics import get_metrics
+    from .functional import RunResult, SimulationError
+
+    program = sim.program
+    state = sim.state
+    memory = sim.memory
+    jp = jit_decode(program)
+    decoded = decode(program)
+    handlers = decoded.bind_fast(state, memory)
+    head_len = jp.head_len
+    counts = jp.counts
+    threshold = JIT_THRESHOLD
+    n = len(program)
+    name = program.name
+
+    # Per-run bindings of already-hot compiled blocks (bound lazily: most
+    # runs touch a fraction of the program).
+    I = state.int_regs  # noqa: E741 - mirrors the generated operand names
+    F = state.fp_regs
+    MG = memory.load_word_index
+    MP = memory.store_word_index
+    cell = [0]
+    bound: Dict[int, Callable] = {}
+
+    pc = state.pc
+    executed = 0
+    halted = False
+    try:
+        while executed < max_instructions:
+            if not 0 <= pc < n:
+                raise SimulationError(f"pc {pc} out of range (program {name})")
+            blen = head_len[pc]
+            if blen:
+                fn = bound.get(pc)
+                if fn is None:
+                    c = counts.get(pc, 0) + 1
+                    counts[pc] = c
+                    if c >= threshold:
+                        fn = bound[pc] = jp.binder(pc)(I, F, MG, MP, cell)
+                if fn is not None and (
+                    executed + blen <= max_instructions or _TEST_SKIP_BUDGET_GUARD
+                ):
+                    try:
+                        nxt = fn()
+                    except BaseException:
+                        # Straight-line block: cell[0] commits happened
+                        # before the faulting instruction at start+cell[0].
+                        executed += cell[0]
+                        pc = pc + cell[0]
+                        raise
+                    executed += blen
+                    if nxt < 0:
+                        # Halt only ever terminates a block; the reference
+                        # engine leaves pc on the halt instruction itself.
+                        pc = pc + blen - 1
+                        halted = True
+                        break
+                    pc = nxt
+                    continue
+            # Cold block, mid-block entry, or the block no longer fits the
+            # budget: one decoded step (the guard exit).
+            nxt = handlers[pc]()
+            executed += 1
+            if nxt < 0:
+                halted = True
+                break
+            pc = nxt
+    finally:
+        state.pc = pc
+        sim.last_result = RunResult(
+            state=state,
+            memory=memory,
+            instructions=executed,
+            halted=halted,
+            trace=None,
+        )
+        metrics = get_metrics()
+        metrics.inc("sim.runs")
+        metrics.inc("sim.runs_jit")
+        metrics.inc("sim.instructions", executed)
+
+    sim._check_budget(halted, executed, max_instructions, pc)

@@ -63,9 +63,25 @@ def test_compare_statuses():
     assert report["pipeline_cycles_per_s_geomean"]["status"] == "fail"
 
 
-def test_compare_skips_missing_metrics():
+def test_compare_skips_metrics_absent_from_current():
     assert compare_benchmarks({"summary": {}}, _payload(1.0, 1.0, 1.0)) == []
-    assert compare_benchmarks(_payload(1.0, 1.0, 1.0), {}) == []
+
+
+def test_compare_reports_metrics_absent_from_baseline_as_missing():
+    # A series measured now but not in the baseline must not gate the run:
+    # the entries come back as non-failing "missing" until a baseline that
+    # carries the series is committed.
+    report = compare_benchmarks(_payload(1.0, 1.0, 1.0), {})
+    assert report and all(e["status"] == "missing" for e in report)
+    assert all(e["baseline"] is None and e["drop"] is None for e in report)
+
+    current = _payload(1.0, 1.0, 1.0)
+    current["summary"]["jit_minstr_s_geomean"] = 4.0
+    current["summary"]["batched_minstr_s_per_lane_geomean"] = 9.0
+    report = {e["metric"]: e for e in compare_benchmarks(current, _payload(1.0, 1.0, 1.0))}
+    assert report["jit_minstr_s_geomean"]["status"] == "missing"
+    assert report["batched_minstr_s_per_lane_geomean"]["status"] == "missing"
+    assert report["fast_minstr_s_geomean"]["status"] == "ok"
 
 
 def test_compare_custom_thresholds():
@@ -87,24 +103,45 @@ def test_config_validation():
         BenchConfig(max_instructions=0).validated()
     with pytest.raises(ValueError, match="repeats"):
         BenchConfig(repeats=0).validated()
+    with pytest.raises(ValueError, match="lanes"):
+        BenchConfig(lanes=0).validated()
     quick = BenchConfig.quick_config()
     assert quick.quick and quick.validated() is not None
+
+
+def test_default_workloads_cover_the_full_registry():
+    # The default bench sweep must track the registry: a workload added to
+    # the suite (dotprod and stencil were once missing) is benchmarked the
+    # moment it lands, without a harness edit.
+    from repro.workloads.suite import WORKLOAD_CLASSES
+
+    assert tuple(BenchConfig().workloads) == tuple(WORKLOAD_CLASSES)
+    assert "dotprod" in BenchConfig().workloads
+    assert "stencil" in BenchConfig().workloads
 
 
 # ----------------------------------------------------------------------
 # A tiny real campaign + the CLI surface
 # ----------------------------------------------------------------------
 def test_run_benchmarks_payload_shape():
-    config = BenchConfig(workloads=("li",), max_instructions=300, repeats=1)
+    config = BenchConfig(workloads=("li",), max_instructions=300, repeats=1, lanes=2)
     payload = run_benchmarks(config)
     assert payload["schema"] == BENCH_SCHEMA
     funcsim = payload["results"]["funcsim"]["li"]
     assert funcsim["instructions"] > 0
     assert funcsim["fast_minstr_s"] > 0
+    engines = payload["results"]["engines"]["li"]
+    assert engines["jit_minstr_s"] > 0
+    assert engines["lanes"] == 2
+    assert engines["lane_instructions"] == 2 * engines["instructions"]
+    assert engines["batched_minstr_s_per_lane"] > 0
     assert payload["results"]["pipeline"]["li"]["cycles"] > 0
     session = payload["results"]["session"]["li"]
     assert session["warm_s"] <= session["cold_s"]
     assert payload["summary"]["fast_speedup_geomean"] > 0
+    assert payload["summary"]["jit_minstr_s_geomean"] > 0
+    assert payload["summary"]["batched_minstr_s_per_lane_geomean"] > 0
+    assert payload["config"]["lanes"] == 2
 
 
 def _bench_cli(*extra):

@@ -166,3 +166,50 @@ def test_suite_runner_matches_serial_results():
 def test_suite_cell_is_hashable():
     cell = SuiteCell("m88ksim", "no_predict", "selective")
     assert cell in {cell}
+
+
+# ----------------------------------------------------------------------
+# Fused batch digests
+# ----------------------------------------------------------------------
+def test_batch_digests_cached_and_scalar_consistent():
+    from repro.sim.functional import FunctionalSimulator
+
+    session = SimSession()
+    metrics = get_metrics()
+    misses = metrics.get("session.batch.misses")
+    digests = session.batch_digests("li", 1.0, MAX_INSTS)
+    assert sorted(digests) == ["ref", "train"]
+    assert metrics.get("session.batch.misses") == misses + 1
+    assert session.cache_stats()["batch_digests"] == 1
+
+    # Identity-cached on the canonical key.
+    hits = metrics.get("session.batch.hits")
+    assert session.batch_digests("li", 1.0, MAX_INSTS) is digests
+    assert metrics.get("session.batch.hits") == hits + 1
+
+    # Each lane's digest pins the same outcome a scalar run produces.
+    workload = session.workload("li", 1.0)
+    for input_name in ("ref", "train"):
+        sim = FunctionalSimulator(workload.program, memory=workload.memory(input_name))
+        result = sim.run(max_instructions=MAX_INSTS)
+        assert digests[input_name]["instructions"] == result.instructions
+        assert digests[input_name]["halted"] == result.halted
+        assert digests[input_name]["digest"] == SimSession._lane_digest(
+            type("L", (), {
+                "state": sim.state,
+                "memory": sim.memory,
+                "instructions": result.instructions,
+                "halted": result.halted,
+            })()
+        )
+
+
+def test_batch_digests_key_includes_inputs_and_variant():
+    session = SimSession()
+    base = session.batch_digests("li", 1.0, MAX_INSTS)
+    ref_only = session.batch_digests("li", 1.0, MAX_INSTS, input_names=("ref",))
+    assert ref_only is not base
+    assert ref_only["ref"] == base["ref"]  # same lane outcome either way
+    assert session.cache_stats()["batch_digests"] == 2
+    session.reset()
+    assert session.cache_stats()["batch_digests"] == 0

@@ -1,4 +1,4 @@
-"""Tier-1 fuzz smoke: a fixed-seed 25-program campaign over all four oracle
+"""Tier-1 fuzz smoke: a fixed-seed 40-program campaign over all oracle
 families.  Deterministic (fixed seed, no time/entropy inputs) and fast —
 the full campaign budget is a few seconds; anything slower is a regression
 in the harness itself."""
@@ -12,7 +12,7 @@ import pytest
 from repro.testing import ORACLE_FAMILIES, run_fuzz
 
 SMOKE_SEED = 0
-SMOKE_RUNS = 25
+SMOKE_RUNS = 40
 
 
 @pytest.mark.fuzz

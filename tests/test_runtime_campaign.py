@@ -208,3 +208,60 @@ def test_cli_campaign_requires_workload(tmp_path, capsys):
 def test_cli_resume_unknown_run_id_exits_two(tmp_path, capsys):
     assert main(["run", "--resume", "ghost", "--out-dir", str(tmp_path)]) == 2
     assert "no journal for run id" in capsys.readouterr().err
+
+
+# ----------------------------------------------------------------------
+# Fused-batch digest sidecar (same-program cells share one batched run)
+# ----------------------------------------------------------------------
+def test_fresh_campaign_writes_batch_sidecar(tmp_path):
+    from repro.runtime.campaign import batch_sidecar_path
+
+    report = run_campaign(
+        SPEC, str(tmp_path), run_id="fused", executor_factory=_ExecutorFactory()
+    )
+    assert sorted(report.batch_digests) == ["go", "li"]
+    path = batch_sidecar_path(str(tmp_path), "fused")
+    with open(path) as handle:
+        stored = json.load(handle)
+    assert stored == report.batch_digests
+    for per_input in stored.values():
+        for entry in per_input.values():
+            assert entry["halted"] is True or entry["instructions"] > 0
+            assert len(entry["digest"]) == 64  # sha256 hex
+
+
+def test_resume_verifies_batch_sidecar_without_reruns(tmp_path):
+    run_campaign(SPEC, str(tmp_path), run_id="fused", executor_factory=_ExecutorFactory())
+    factory = _ExecutorFactory()
+    report = resume_campaign(str(tmp_path), "fused", jobs=2, executor_factory=factory)
+    assert report.complete and factory.submissions == 0
+    assert sorted(report.batch_digests) == ["go", "li"]
+
+
+def test_resume_backfills_missing_batch_sidecar(tmp_path):
+    import os
+
+    from repro.runtime.campaign import batch_sidecar_path
+
+    run_campaign(SPEC, str(tmp_path), run_id="old", executor_factory=_ExecutorFactory())
+    path = batch_sidecar_path(str(tmp_path), "old")
+    os.remove(path)  # simulate a campaign that predates the sidecar
+    report = resume_campaign(
+        str(tmp_path), "old", jobs=2, executor_factory=_ExecutorFactory()
+    )
+    assert report.complete
+    assert os.path.exists(path)
+
+
+def test_resume_refuses_drifted_batch_digest(tmp_path):
+    from repro.runtime.campaign import batch_sidecar_path
+
+    run_campaign(SPEC, str(tmp_path), run_id="drift", executor_factory=_ExecutorFactory())
+    path = batch_sidecar_path(str(tmp_path), "drift")
+    with open(path) as handle:
+        stored = json.load(handle)
+    stored["li"]["ref"]["digest"] = "0" * 64
+    with open(path, "w") as handle:
+        json.dump(stored, handle)
+    with pytest.raises(ValueError, match="batch digest mismatch.*li"):
+        resume_campaign(str(tmp_path), "drift", jobs=2, executor_factory=_ExecutorFactory())

@@ -1,0 +1,162 @@
+"""Unit tests for the trace-JIT tier: thresholds, caching, fault fidelity.
+
+Functional equivalence against the reference engine is covered by the
+cross-engine matrix (``test_sim_engines_matrix``) and the fuzz oracle; this
+file pins the JIT-specific machinery — when blocks compile, how the
+per-Program cache behaves, and that guard exits (faults mid-block, budgets
+mid-trace) reproduce the decoded engine's observable state bit for bit.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+import repro.sim.jit as jit_tier
+from repro.isa.assembler import assemble
+from repro.sim.functional import FunctionalSimulator
+from repro.sim.jit import JitProgram, jit_decode
+from repro.sim.memory import Memory
+from repro.workloads.suite import make_workload
+
+
+@pytest.fixture
+def threshold_one(monkeypatch):
+    monkeypatch.setattr(jit_tier, "JIT_THRESHOLD", 1)
+
+
+def _run(program, memory, engine, max_insts=100_000):
+    sim = FunctionalSimulator(program, memory=memory, engine=engine)
+    result = sim.run(max_instructions=max_insts)
+    return sim, result
+
+
+# ----------------------------------------------------------------------
+# Compilation policy
+# ----------------------------------------------------------------------
+def test_cold_blocks_never_compile(monkeypatch):
+    monkeypatch.setattr(jit_tier, "JIT_THRESHOLD", 10**9)
+    workload = make_workload("li")
+    program = workload.program
+    program.__dict__.pop("_jit_cache", None)
+    _run(program, workload.memory("ref"), "jit", max_insts=2_000)
+    assert jit_decode(program).blocks_compiled == 0
+
+
+def test_hot_blocks_compile_and_cache_is_per_program(threshold_one):
+    workload = make_workload("li")
+    program = workload.program
+    program.__dict__.pop("_jit_cache", None)
+    _run(program, workload.memory("ref"), "jit", max_insts=2_000)
+    jp = jit_decode(program)
+    assert isinstance(jp, JitProgram)
+    assert jp.blocks_compiled > 0
+    # Memoized: a second run reuses the same JitProgram and recompiles nothing.
+    compiled_before = jp.blocks_compiled
+    _run(program, workload.memory("ref"), "jit", max_insts=2_000)
+    assert jit_decode(program) is jp
+    assert jp.blocks_compiled == compiled_before
+
+
+def test_threshold_env_var_is_honored(monkeypatch):
+    monkeypatch.setenv("REPRO_JIT_THRESHOLD", "7")
+    import importlib
+
+    importlib.reload(jit_tier)
+    try:
+        assert jit_tier.JIT_THRESHOLD == 7
+    finally:
+        monkeypatch.delenv("REPRO_JIT_THRESHOLD")
+        importlib.reload(jit_tier)
+    assert jit_tier.JIT_THRESHOLD == 16
+
+
+def test_single_instruction_blocks_are_not_jit_candidates():
+    # head_len only marks blocks of >= 2 instructions: a 1-instruction block
+    # gains nothing from stitching and would double bookkeeping.
+    program = assemble(
+        """
+        start:
+            li r1, #1
+        loop:
+            add r2, r2, r1
+            bne r2, done
+            br loop
+        done:
+            halt
+        """,
+        name="tiny-blocks",
+    )
+    jp = jit_decode(program)
+    assert all(length in (0,) or length >= 2 for length in jp.head_len)
+
+
+# ----------------------------------------------------------------------
+# Guard exits: faults inside a compiled block
+# ----------------------------------------------------------------------
+_FAULTY = """
+    start:
+        li r1, #8
+        li r2, #0
+    loop:
+        add r2, r2, r1
+        ld r3, 0x100(r31)
+        add r3, r3, r1
+        cmpult r4, r2, r3
+        bne r4, loop
+        li r5, #3
+        ld r6, 3(r31)
+        halt
+"""
+
+
+def test_fault_mid_block_matches_decoded(threshold_one):
+    # The final block commits two instructions (li r5) before the unaligned
+    # load faults; pc, commit count, and state must match decoded exactly.
+    def build():
+        program = assemble(_FAULTY, name="faulty")
+        memory = Memory()
+        memory.store(0x100, 64)
+        return program, memory
+
+    outcomes = {}
+    for engine in ("decoded", "jit"):
+        program, memory = build()
+        sim = FunctionalSimulator(program, memory=memory, engine=engine)
+        with pytest.raises(ValueError, match="unaligned access at address 0x3"):
+            sim.run(max_instructions=10_000)
+        result = sim.last_result
+        outcomes[engine] = (
+            result.instructions,
+            sim.state.pc,
+            tuple(sim.state.int_regs),
+            dict(memory._words),
+        )
+    assert outcomes["jit"] == outcomes["decoded"]
+
+
+def test_halt_inside_block_leaves_pc_on_halt(threshold_one):
+    workload = make_workload("li")
+    program = workload.program
+    dec_sim, dec = _run(program, workload.memory("ref"), "decoded")
+    jit_sim, jit = _run(program, workload.memory("ref"), "jit")
+    assert dec.halted and jit.halted
+    assert jit.instructions == dec.instructions
+    assert jit_sim.state.pc == dec_sim.state.pc
+
+
+# ----------------------------------------------------------------------
+# Engine selection plumbing
+# ----------------------------------------------------------------------
+def test_engine_jit_is_accepted_and_counts_runs(threshold_one):
+    from repro.core.metrics import get_metrics
+
+    workload = make_workload("dotprod")
+    before = get_metrics().get("sim.runs_jit")
+    _run(workload.program, workload.memory("ref"), "jit", max_insts=5_000)
+    assert get_metrics().get("sim.runs_jit") == before + 1
+
+
+def test_unknown_engine_rejected():
+    workload = make_workload("li")
+    with pytest.raises(ValueError, match="engine"):
+        FunctionalSimulator(workload.program, memory=workload.memory("ref"), engine="warp")
