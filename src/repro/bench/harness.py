@@ -14,7 +14,11 @@
   fusion is accountable for: it must beat the decoded fast path's
   single-lane rate by a wide margin to pay for lane masking.
 * **pipeline** — cycle-engine throughput (simulated cycles per wall second)
-  driving :func:`repro.uarch.pipeline.simulate` off a materialized trace.
+  driving :func:`repro.uarch.pipeline.simulate` off a materialized trace, for
+  both timing tiers: the reference per-cycle loop measured cold (stream
+  preparation included, series-continuous with pre-fast-tier baselines) and
+  the event-driven fast tier measured over a pre-built stream — the way
+  campaign cells run it through the SimSession stream cache.
 * **session** — cold-vs-warm :meth:`~repro.core.session.SimSession.ref_trace`
   latency, i.e. what the artifact caches buy a sweep.
 
@@ -46,6 +50,7 @@ from ..sim.functional import FunctionalSimulator
 from ..uarch.config import table1_config
 from ..uarch.pipeline import simulate
 from ..uarch.recovery import RecoveryScheme
+from ..uarch.stream import prepare_stream
 from ..vp.base import NoPredictor
 from ..workloads.suite import WORKLOAD_CLASSES, make_workload
 
@@ -60,6 +65,7 @@ REGRESSION_METRICS = (
     "fast_minstr_s_geomean",
     "trace_minstr_s_geomean",
     "pipeline_cycles_per_s_geomean",
+    "pipeline_fast_cycles_per_s_geomean",
     # The two upper execution tiers.  Baselines that predate these series
     # (BENCH_1.json) simply skip them in compare_benchmarks, so the gate
     # only arms once a baseline carrying them is committed.
@@ -80,6 +86,10 @@ class BenchConfig:
     repeats: int = 3
     lanes: int = 32
     quick: bool = False
+    #: >0 enables the cProfile hook: top-N cumulative hot spots per benched
+    #: engine (funcsim reference/decoded, pipeline reference/fast) collected
+    #: on the first workload and attached to the payload under ``profiles``.
+    profile_top: int = 0
 
     def validated(self) -> "BenchConfig":
         unknown = [name for name in self.workloads if name not in WORKLOAD_CLASSES]
@@ -191,21 +201,47 @@ def _bench_engines(name: str, max_insts: int, repeats: int, lanes: int) -> Dict[
 
 
 def _bench_pipeline(name: str, max_insts: int, repeats: int) -> Dict[str, float]:
-    """Cycle-engine throughput over a materialized trace (no-predict baseline)."""
+    """Cycle-engine throughput over a materialized trace (no-predict baseline).
+
+    ``cycles_per_s`` is the reference tier measured cold (stream preparation
+    inside the timed region, exactly how pre-fast-tier baselines measured
+    it); ``fast_cycles_per_s`` is the event-driven tier over a pre-built
+    stream — what a campaign cell pays after the SimSession stream cache has
+    warmed.  The two runs must produce identical stats, so the bench itself
+    is a cheap differential gate.
+    """
     workload = make_workload(name)
     program, memory = workload.build("ref")
     trace = FunctionalSimulator(program, memory=memory).run(
         max_instructions=max_insts, collect_trace=True
     ).trace
     config = table1_config()
-    stats = simulate(trace, NoPredictor(), config, RecoveryScheme.SELECTIVE)
+    stats = simulate(trace, NoPredictor(), config, RecoveryScheme.SELECTIVE, engine="reference")
     seconds = _best_time(
-        lambda: simulate(trace, NoPredictor(), config, RecoveryScheme.SELECTIVE), repeats
+        lambda: simulate(trace, NoPredictor(), config, RecoveryScheme.SELECTIVE, engine="reference"),
+        repeats,
     )
+    stream = prepare_stream(trace, NoPredictor())
+    fast_stats = simulate(
+        None, NoPredictor(), config, RecoveryScheme.SELECTIVE, engine="fast", stream=stream
+    )
+    if fast_stats != stats:
+        raise RuntimeError(f"fast/reference stats diverged on {name}")
+    fast_seconds = _best_time(
+        lambda: simulate(
+            None, NoPredictor(), config, RecoveryScheme.SELECTIVE, engine="fast", stream=stream
+        ),
+        repeats,
+    )
+    rate = stats.cycles / seconds if seconds > 0 else 0.0
+    fast_rate = stats.cycles / fast_seconds if fast_seconds > 0 else 0.0
     return {
         "cycles": stats.cycles,
-        "cycles_per_s": stats.cycles / seconds if seconds > 0 else 0.0,
+        "cycles_per_s": rate,
         "wall_s": seconds,
+        "fast_cycles_per_s": fast_rate,
+        "fast_wall_s": fast_seconds,
+        "fast_speedup": fast_rate / rate if rate else 0.0,
     }
 
 
@@ -223,6 +259,69 @@ def _bench_session(name: str, max_insts: int) -> Dict[str, float]:
         "warm_s": warm_s,
         "warm_speedup": cold_s / warm_s if warm_s > 0 else 0.0,
         "cached_entries": sum(session.cache_stats().values()),
+    }
+
+
+# ----------------------------------------------------------------------
+# Profiling hook (``repro bench --profile``)
+# ----------------------------------------------------------------------
+def _profile_hotspots(fn: Callable[[], object], top: int) -> List[Dict[str, object]]:
+    """Top-``top`` cumulative-time hot spots of one ``fn()`` call."""
+    import cProfile
+    import pstats
+
+    profiler = cProfile.Profile()
+    profiler.enable()
+    try:
+        fn()
+    finally:
+        profiler.disable()
+    stats = pstats.Stats(profiler)
+    rows: List[Dict[str, object]] = []
+    ordered = sorted(stats.stats.items(), key=lambda item: item[1][3], reverse=True)
+    for (filename, lineno, func), (cc, nc, tt, ct, _callers) in ordered[:top]:
+        rows.append(
+            {
+                "where": f"{os.path.basename(filename)}:{lineno}({func})",
+                "ncalls": nc,
+                "tottime_s": round(tt, 6),
+                "cumtime_s": round(ct, 6),
+            }
+        )
+    return rows
+
+
+def _profile_engines(name: str, max_insts: int, top: int) -> Dict[str, List[Dict[str, object]]]:
+    """Hot-spot attribution for every benched engine, on one workload."""
+    workload = make_workload(name)
+
+    def funcsim(engine: str) -> Callable[[], object]:
+        def run() -> object:
+            program, memory = workload.build("ref")
+            sim = FunctionalSimulator(program, memory=memory, engine=engine)
+            return sim.run(max_instructions=max_insts)
+
+        return run
+
+    program, memory = workload.build("ref")
+    trace = FunctionalSimulator(program, memory=memory).run(
+        max_instructions=max_insts, collect_trace=True
+    ).trace
+    config = table1_config()
+    stream = prepare_stream(trace, NoPredictor())
+    return {
+        "funcsim_reference": _profile_hotspots(funcsim("reference"), top),
+        "funcsim_decoded": _profile_hotspots(funcsim("decoded"), top),
+        "pipeline_reference": _profile_hotspots(
+            lambda: simulate(trace, NoPredictor(), config, RecoveryScheme.SELECTIVE, engine="reference"),
+            top,
+        ),
+        "pipeline_fast": _profile_hotspots(
+            lambda: simulate(
+                None, NoPredictor(), config, RecoveryScheme.SELECTIVE, engine="fast", stream=stream
+            ),
+            top,
+        ),
     }
 
 
@@ -262,7 +361,17 @@ def run_benchmarks(
             [r["batched_minstr_s_per_lane"] for r in engines.values()]
         ),
         "pipeline_cycles_per_s_geomean": _geomean([r["cycles_per_s"] for r in pipeline.values()]),
+        "pipeline_fast_cycles_per_s_geomean": _geomean(
+            [r["fast_cycles_per_s"] for r in pipeline.values()]
+        ),
+        "pipeline_fast_speedup_geomean": _geomean([r["fast_speedup"] for r in pipeline.values()]),
     }
+    profiles: Dict[str, List[Dict[str, object]]] = {}
+    if config.profile_top > 0 and config.workloads:
+        note(f"bench {config.workloads[0]}: profiling engines")
+        profiles = _profile_engines(
+            config.workloads[0], config.max_instructions, config.profile_top
+        )
     return {
         "schema": BENCH_SCHEMA,
         "generated_at": time.strftime("%Y-%m-%dT%H:%M:%SZ", time.gmtime()),
@@ -286,6 +395,7 @@ def run_benchmarks(
             "session": session,
         },
         "summary": summary,
+        **({"profiles": profiles} if profiles else {}),
     }
 
 

@@ -841,6 +841,7 @@ def _cmd_bench(args: argparse.Namespace) -> int:
         )
     if args.lanes is not None:
         config.lanes = args.lanes
+    config.profile_top = max(0, args.profile)
     try:
         config = config.validated()
     except ValueError as exc:
@@ -898,10 +899,17 @@ def _cmd_bench(args: argparse.Namespace) -> int:
         print(f"engines:  jit {summary['jit_minstr_s_geomean']:.2f} Minstr/s, "
               f"batched {summary['batched_minstr_s_per_lane_geomean']:.2f} M lane-instr/s "
               f"({config.lanes} lanes)")
-        print(f"pipeline: {summary['pipeline_cycles_per_s_geomean']:,.0f} cycles/s")
+        print(f"pipeline: reference {summary['pipeline_cycles_per_s_geomean']:,.0f} cycles/s, "
+              f"fast {summary['pipeline_fast_cycles_per_s_geomean']:,.0f} cycles/s "
+              f"({summary['pipeline_fast_speedup_geomean']:.1f}x)")
         for name, result in payload["results"]["session"].items():
             print(f"session:  {name} cold {result['cold_s'] * 1e3:.1f} ms, "
                   f"warm {result['warm_s'] * 1e6:.0f} us")
+        for engine, rows in payload.get("profiles", {}).items():
+            print(f"profile [{engine}]:")
+            for row in rows:
+                print(f"  {row['cumtime_s']:8.4f}s cum  {row['tottime_s']:8.4f}s tot  "
+                      f"{row['ncalls']:>9} calls  {row['where']}")
         for entry in comparisons:
             if entry["status"] == "missing":
                 print(f"MISSING: {entry['metric']} has no value in "
@@ -1102,6 +1110,12 @@ def build_parser() -> argparse.ArgumentParser:
     )
     bench_parser.add_argument(
         "--warn-threshold", type=float, default=0.10, help="warn when a metric drops more than this fraction"
+    )
+    bench_parser.add_argument(
+        "--profile", type=int, nargs="?", const=15, default=0, metavar="N",
+        help="cProfile each benched engine (funcsim reference/decoded, pipeline "
+        "reference/fast) on the first workload and report the top N cumulative "
+        "hot spots (default N=15)",
     )
     bench_parser.set_defaults(fn=_cmd_bench)
 

@@ -229,6 +229,21 @@ class ExperimentRunner:
             return "base", ContextPredictor(loads_only=False)
         raise ValueError(f"unknown configuration {config!r}; choose from {CONFIG_NAMES}")
 
+    def pipeline_stream(self, config: str, threshold: Optional[float] = None):
+        """The cached pipeline stream for a configuration (see
+        :meth:`SimSession.pipeline_stream`)."""
+        variant, predictor = self._build(config, threshold)
+        stream = self.session.pipeline_stream(
+            self.workload.name,
+            self.scale,
+            self.max_instructions,
+            predictor,
+            variant,
+            threshold,
+            default_threshold=self.threshold,
+        )
+        return stream, predictor
+
     def run(
         self,
         config: str,
@@ -238,7 +253,18 @@ class ExperimentRunner:
         variant, predictor = self._build(config, threshold)
         # The session canonicalizes (variant, threshold) — base variants drop
         # the threshold, others resolve None to this runner's default — so no
-        # per-call-site key arithmetic is needed (or allowed) here.
-        trace = self.ref_trace(variant, threshold)
-        stats = simulate(trace, predictor, self.machine, recovery)
+        # per-call-site key arithmetic is needed (or allowed) here.  All
+        # pipeline construction routes through the session's stream cache: a
+        # predictor × recovery × threshold grid prepares each trace once per
+        # predictor fingerprint, not once per cell.
+        stream = self.session.pipeline_stream(
+            self.workload.name,
+            self.scale,
+            self.max_instructions,
+            predictor,
+            variant,
+            threshold,
+            default_threshold=self.threshold,
+        )
+        stats = simulate(None, predictor, self.machine, recovery, stream=stream)
         return ExperimentResult(self.workload.name, config, recovery.value, stats)

@@ -70,6 +70,8 @@ from ..sim.functional import FunctionalSimulator
 from ..sim.trace import TraceRecord
 from ..uarch.config import MachineConfig
 from ..uarch.recovery import RecoveryScheme
+from ..uarch.stream import StreamEntry, prepare_stream
+from ..vp.base import ValuePredictor
 from ..workloads.base import Workload
 from ..workloads.suite import make_workload
 from .metrics import get_metrics
@@ -86,6 +88,11 @@ DEFAULT_TRACE_BYTES = int(os.environ.get("REPRO_SESSION_TRACE_BYTES", str(256 * 
 #: Estimated resident cost of one cached :class:`TraceRecord` (slots, ints,
 #: tuple overhead) — an accounting constant, not a measurement.
 TRACE_RECORD_BYTES = 400
+
+#: Estimated resident cost of one cached :class:`StreamEntry` *beyond* its
+#: TraceRecord (which the trace cache already accounts for — stream entries
+#: alias trace records, they do not copy them).
+STREAM_ENTRY_BYTES = 320
 
 #: Program variants whose construction does not depend on profile lists.
 _THRESHOLD_FREE_VARIANTS = ("base",)
@@ -135,12 +142,19 @@ class SimSession:
         self._realloc: Dict[Tuple, ReallocReport] = {}
         self._traces: "OrderedDict[Tuple, Tuple[TraceRecord, ...]]" = OrderedDict()
         self._trace_resident_bytes = 0
+        self._streams: "OrderedDict[Tuple, List[StreamEntry]]" = OrderedDict()
+        self._stream_resident_bytes = 0
         self._batches: Dict[Tuple, Dict[str, Dict[str, object]]] = {}
 
     @staticmethod
     def _trace_cost(trace: Tuple[TraceRecord, ...]) -> int:
         """Estimated resident bytes of one cached trace tuple."""
         return 128 + TRACE_RECORD_BYTES * len(trace)
+
+    @staticmethod
+    def _stream_cost(stream: List[StreamEntry]) -> int:
+        """Estimated resident bytes of one cached pipeline stream."""
+        return 128 + STREAM_ENTRY_BYTES * len(stream)
 
     # ------------------------------------------------------------------
     # Workloads
@@ -311,6 +325,67 @@ class SimSession:
         return trace
 
     # ------------------------------------------------------------------
+    # Pipeline streams (LRU sharing the trace-cache byte budget)
+    # ------------------------------------------------------------------
+    def pipeline_stream(
+        self,
+        name: str,
+        scale: float,
+        max_instructions: int,
+        predictor: ValuePredictor,
+        variant: str = "base",
+        threshold: Optional[float] = None,
+        default_threshold: float = 0.8,
+        input_name: str = "ref",
+    ) -> List[StreamEntry]:
+        """The prepared pipeline stream of one trace under one predictor.
+
+        A stream is a pure function of (trace, predictor ``source()``
+        routing), so it is cached under (canonical trace key, predictor
+        ``static_fingerprint()``): a predictor × recovery × threshold
+        campaign grid prepares each trace once per *fingerprint*, not once
+        per cell — e.g. every ``DynamicRVP`` threshold point shares one
+        stream.  A ``None`` fingerprint (``source()`` with side effects)
+        bypasses the cache and rebuilds per call.
+
+        Cached streams share the trace LRU's byte budget
+        (``REPRO_SESSION_TRACE_BYTES``): stream bytes count toward the same
+        ceiling, and stream entries are evicted (LRU) when the combined
+        resident estimate exceeds it.
+        """
+        metrics = get_metrics()
+        variant, eff_threshold = canonical_variant_key(variant, threshold, default_threshold)
+        fingerprint = predictor.static_fingerprint()
+        if fingerprint is None:
+            metrics.inc("session.stream.uncacheable")
+            trace = self.ref_trace(
+                name, scale, max_instructions, variant, eff_threshold, default_threshold, input_name
+            )
+            return prepare_stream(trace, predictor)
+        key = (name, scale, max_instructions, variant, eff_threshold, input_name, fingerprint)
+        stream = self._streams.get(key)
+        if stream is not None:
+            self._streams.move_to_end(key)
+            metrics.inc("session.stream.hits")
+            return stream
+        metrics.inc("session.stream.misses")
+        trace = self.ref_trace(
+            name, scale, max_instructions, variant, eff_threshold, default_threshold, input_name
+        )
+        stream = prepare_stream(trace, predictor)
+        self._streams[key] = stream
+        self._stream_resident_bytes += self._stream_cost(stream)
+        # Same always-keep-the-newest rule as the trace LRU; the ceiling is
+        # the *combined* trace + stream resident estimate.
+        while len(self._streams) > 1 and (
+            self._trace_resident_bytes + self._stream_resident_bytes > self.trace_bytes
+        ):
+            _, evicted = self._streams.popitem(last=False)
+            self._stream_resident_bytes -= self._stream_cost(evicted)
+            metrics.inc("session.stream.evictions")
+        return stream
+
+    # ------------------------------------------------------------------
     # Batched digests (one fused run per program across its inputs)
     # ------------------------------------------------------------------
     @staticmethod
@@ -392,6 +467,8 @@ class SimSession:
             "realloc_reports": len(self._realloc),
             "traces": len(self._traces),
             "trace_bytes": self._trace_resident_bytes,
+            "streams": len(self._streams),
+            "stream_bytes": self._stream_resident_bytes,
             "batch_digests": len(self._batches),
         }
 
@@ -404,6 +481,8 @@ class SimSession:
         self._realloc.clear()
         self._traces.clear()
         self._trace_resident_bytes = 0
+        self._streams.clear()
+        self._stream_resident_bytes = 0
         self._batches.clear()
 
 

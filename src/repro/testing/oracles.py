@@ -1,6 +1,6 @@
 """Differential oracles over generated programs.
 
-Five oracle families, each a callable ``oracle(case)`` registered in
+Six oracle families, each a callable ``oracle(case)`` registered in
 :data:`ORACLES` that raises :class:`OracleViolation` on failure:
 
 ``trace-equivalence``
@@ -37,6 +37,15 @@ Five oracle families, each a callable ``oracle(case)`` registered in
     All three recovery schemes commit the complete trace; reissue replays at
     least as much as selective reissue; refetch squashes actually refetch;
     and no predictor means no recovery activity anywhere.
+
+``pipeline-equivalence``
+    The event-driven fast timing tier (``engine="fast"``) must reproduce the
+    reference per-cycle pipeline loop's complete ``SimStats`` — every
+    counter, including stall attribution and summed IQ occupancy — across
+    {lvp, rvp, stride} × all three recovery schemes.  The fast tier's
+    test-only switch (``repro.uarch.fast._TEST_SKIP_EVENT``) seeds a
+    skip-accounting defect the self-tests use to prove this family detects
+    broken cycle skipping.
 
 ``absint-soundness``
     No verdict of the abstract interpreter (:mod:`repro.analysis.absint`) is
@@ -84,6 +93,7 @@ from ..vp.gabbay import GabbayRegisterPredictor
 from ..vp.lvp import LastValuePredictor
 from ..vp.rvp import DynamicRVP
 from ..vp.static_rvp import StaticRVP
+from ..vp.stride import StridePredictor
 from .generator import GeneratedCase
 
 #: Committed-instruction budget per functional run of a generated case.
@@ -777,6 +787,50 @@ def check_recovery_invariant(case: GeneratedCase) -> None:
 
 
 # ----------------------------------------------------------------------
+# Oracle family: fast-vs-reference pipeline stats equivalence
+# ----------------------------------------------------------------------
+def _engine_stats(trace: Sequence[TraceRecord], predictor: ValuePredictor, recovery: RecoveryScheme, engine: str):
+    """Seam: one timing-tier run (monkeypatched by the mutation self-tests;
+    the fast tier's own seam is ``repro.uarch.fast._TEST_SKIP_EVENT``)."""
+    return simulate(trace, predictor, table1_config(), recovery, engine=engine)
+
+
+def check_pipeline_equivalence(case: GeneratedCase) -> None:
+    """The fast timing tier must reproduce the reference per-cycle loop's
+    *complete* ``SimStats`` — cycles, stall attribution and IQ occupancy
+    included, not just IPC — for every predictor × recovery combination.
+
+    Predictors run with a low confidence threshold so small generated loops
+    actually speculate; each engine gets a fresh predictor instance (the
+    tiers train identical state, but sharing one instance would let the
+    first run's training leak into the second)."""
+    name = "pipeline-equivalence"
+    base = _base_run(case)
+    trace = tuple(base.trace)
+    predictors = (
+        ("lvp", lambda: LastValuePredictor(threshold=2)),
+        ("rvp", lambda: DynamicRVP(threshold=2)),
+        ("stride", lambda: StridePredictor(threshold=2)),
+    )
+    for label, make in predictors:
+        for scheme in RecoveryScheme:
+            reference = _engine_stats(trace, make(), scheme, "reference").counters()
+            fast = _engine_stats(trace, make(), scheme, "fast").counters()
+            if fast != reference:
+                diff = {
+                    key: (reference[key], fast[key])
+                    for key in reference
+                    if reference[key] != fast[key]
+                }
+                _require(
+                    False,
+                    name,
+                    f"{label}/{scheme.value}: fast tier diverged from reference "
+                    f"(counter: (reference, fast)) {diff}",
+                )
+
+
+# ----------------------------------------------------------------------
 # Oracle family 5: abstract-interpretation soundness
 # ----------------------------------------------------------------------
 def _build_absint(program: Program):
@@ -906,6 +960,7 @@ ORACLES: Dict[str, Callable[[GeneratedCase], None]] = {
     "predictor-sanity": check_predictor_sanity,
     "recovery-invariant": check_recovery_invariant,
     "absint-soundness": check_absint_soundness,
+    "pipeline-equivalence": check_pipeline_equivalence,
 }
 
 ORACLE_FAMILIES: Tuple[str, ...] = tuple(ORACLES)

@@ -3,7 +3,8 @@
 from .branch import BranchPredictor
 from .cache import Cache, MemoryHierarchy
 from .config import CacheConfig, MachineConfig, aggressive_config, table1_config
-from .pipeline import DynInst, PipelineSimulator, simulate
+from .fast import FastDynInst, FastPipelineSimulator
+from .pipeline import PIPELINE_ENGINES, DynInst, PipelineSimulator, simulate
 from .recovery import RecoveryScheme
 from .stats import SimStats
 from .stream import StreamEntry, prepare_stream
@@ -17,6 +18,9 @@ __all__ = [
     "aggressive_config",
     "table1_config",
     "DynInst",
+    "FastDynInst",
+    "FastPipelineSimulator",
+    "PIPELINE_ENGINES",
     "PipelineSimulator",
     "simulate",
     "RecoveryScheme",

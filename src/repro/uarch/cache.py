@@ -29,7 +29,10 @@ class Cache:
             raise ValueError("cache too small for its associativity")
         self._line_shift = config.line_bytes.bit_length() - 1
         # Per set: list of line ids in LRU order (index 0 = least recent).
-        self._sets: List[List[int]] = [[] for _ in range(self.num_sets)]
+        # Lazily materialized — None until the set is first touched, so
+        # constructing a large cache is O(1)-ish rather than one list
+        # allocation per set (the L2 alone has thousands of sets).
+        self._sets: List[Optional[List[int]]] = [None] * self.num_sets
         # In-flight fills: line id -> cycle the data arrives.
         self._fill_ready: Dict[int, int] = {}
         self.hits = 0
@@ -43,6 +46,8 @@ class Cache:
         """Returns additional latency in cycles for an access at ``cycle``."""
         set_index, line = self._locate(addr)
         ways = self._sets[set_index]
+        if ways is None:
+            ways = self._sets[set_index] = []
         if line in ways:
             ways.remove(line)
             ways.append(line)

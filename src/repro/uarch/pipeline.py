@@ -27,8 +27,9 @@ longer speculative; selective reissue holds only the dependence cone.
 
 from __future__ import annotations
 
+import os
 from collections import deque
-from typing import Deque, Dict, Iterable, List, Optional, Set, Tuple
+from typing import Deque, Dict, Iterable, List, Optional, Sequence, Set, Tuple
 
 from ..isa.opcodes import OpKind
 from ..sim.trace import TraceRecord
@@ -41,6 +42,21 @@ from .stats import SimStats
 from .stream import StreamEntry, prepare_stream
 
 _WAIT, _ISSUED, _DONE = 0, 1, 2
+
+#: Engine selection: ``fast`` (event-driven, the default) or ``reference``
+#: (this module's per-cycle loop, kept verbatim as the stats-exact oracle).
+PIPELINE_ENGINES = ("fast", "reference")
+_ENGINE_ENV = "REPRO_PIPELINE_ENGINE"
+_DEFAULT_ENGINE = "fast"
+
+
+def _resolve_engine(engine: Optional[str]) -> str:
+    resolved = engine if engine is not None else os.environ.get(_ENGINE_ENV) or _DEFAULT_ENGINE
+    if resolved not in PIPELINE_ENGINES:
+        raise ValueError(
+            f"unknown pipeline engine {resolved!r}; choose from {PIPELINE_ENGINES}"
+        )
+    return resolved
 
 
 def _metrics():
@@ -101,7 +117,38 @@ class DynInst:
 
 
 class PipelineSimulator:
-    """One run = one (trace, predictor, config, recovery scheme) combination."""
+    """One run = one (trace, predictor, config, recovery scheme) combination.
+
+    Two engines share this class's stats contract: the per-cycle loop below
+    (``engine="reference"``, the oracle) and the event-driven fast tier
+    (``engine="fast"``, :mod:`repro.uarch.fast`), selected by the ``engine``
+    argument or the ``REPRO_PIPELINE_ENGINE`` environment variable.  Both
+    produce identical :class:`~repro.uarch.stats.SimStats` — every counter,
+    not just IPC — which the differential test matrix enforces.
+
+    ``stream`` optionally supplies a pre-built :func:`prepare_stream` result
+    (e.g. the :class:`~repro.core.session.SimSession` stream cache) so
+    campaign cells that share a (trace, predictor-fingerprint) pair prepare
+    the stream once; when given, ``trace`` is ignored.
+    """
+
+    #: resolved engine name of instances of this class
+    engine = "reference"
+
+    def __new__(
+        cls,
+        trace: Optional[Iterable[TraceRecord]] = None,
+        predictor: Optional[ValuePredictor] = None,
+        config: Optional[MachineConfig] = None,
+        recovery: RecoveryScheme = RecoveryScheme.SELECTIVE,
+        engine: Optional[str] = None,
+        stream: Optional[Sequence[StreamEntry]] = None,
+    ) -> "PipelineSimulator":
+        if cls is PipelineSimulator and _resolve_engine(engine) == "fast":
+            from .fast import FastPipelineSimulator
+
+            return super().__new__(FastPipelineSimulator)
+        return super().__new__(cls)
 
     def __init__(
         self,
@@ -109,12 +156,14 @@ class PipelineSimulator:
         predictor: ValuePredictor,
         config: MachineConfig,
         recovery: RecoveryScheme = RecoveryScheme.SELECTIVE,
+        engine: Optional[str] = None,
+        stream: Optional[Sequence[StreamEntry]] = None,
     ) -> None:
         config.validate()
         self.config = config
         self.predictor = predictor
         self.recovery = recovery
-        self.stream = prepare_stream(trace, predictor)
+        self.stream = stream if stream is not None else prepare_stream(trace, predictor)
         self.branch = BranchPredictor(config)
         self.memory = MemoryHierarchy(config.l1i, config.l1d, config.l2)
         self.stats = SimStats()
@@ -618,15 +667,22 @@ class PipelineSimulator:
 
 
 def simulate(
-    trace: Iterable[TraceRecord],
+    trace: Optional[Iterable[TraceRecord]],
     predictor: ValuePredictor,
     config: MachineConfig,
     recovery: RecoveryScheme = RecoveryScheme.SELECTIVE,
     max_cycles: int = 5_000_000,
+    engine: Optional[str] = None,
+    stream: Optional[Sequence[StreamEntry]] = None,
 ) -> SimStats:
     """Convenience wrapper: build a pipeline and run it to completion.
 
     ``trace`` may be any iterable of committed records (cached tuple or live
-    generator); it is consumed once during stream preparation.
+    generator); it is consumed once during stream preparation.  When a
+    pre-built ``stream`` is supplied (the SimSession stream cache), ``trace``
+    is unused and may be None.  ``engine`` selects the timing tier
+    (``fast``/``reference``; default from ``REPRO_PIPELINE_ENGINE``).
     """
-    return PipelineSimulator(trace, predictor, config, recovery).run(max_cycles=max_cycles)
+    return PipelineSimulator(
+        trace, predictor, config, recovery, engine=engine, stream=stream
+    ).run(max_cycles=max_cycles)

@@ -2,7 +2,7 @@
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass, fields
 from typing import Dict
 
 
@@ -45,6 +45,15 @@ class SimStats:
     @property
     def predictions_per_cycle(self) -> float:
         return self.predictions / self.cycles if self.cycles else 0.0
+
+    def counters(self) -> Dict[str, int]:
+        """Every raw counter field by name (no derived ratios).
+
+        This is the exact contract the fast timing tier is held to: two
+        engines are equivalent iff their ``counters()`` dicts are equal —
+        cycle counts, stall attribution and occupancy included, not just IPC.
+        """
+        return {f.name: getattr(self, f.name) for f in fields(self)}
 
     def summary(self) -> Dict[str, float]:
         return {

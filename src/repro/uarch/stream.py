@@ -53,6 +53,24 @@ class StreamEntry:
     prev_instance: Optional[int]
     #: would a DST/REG/ideal-STORED prediction be correct here?
     pred_correct: bool
+    # ------------------------------------------------------------------
+    # Pre-decoded per-pc timing facts (the fast timing tier's hot path
+    # reads these flat booleans instead of chasing record.inst.op.* every
+    # fetch/issue/commit; the reference tier ignores them).
+    # ------------------------------------------------------------------
+    is_load: bool = False
+    is_store: bool = False
+    is_halt: bool = False
+    is_control: bool = False
+    #: conditional branch (OpKind.BRANCH): fetch reads the recorded outcome
+    cond_branch: bool = False
+    #: a prediction here would consume an extra register read port
+    #: (register-sourced prediction of a non-load; see Section 6)
+    needs_port: bool = False
+    #: flattened producer seqs (non-None src_deps + store_dep): exactly the
+    #: dependence list speculation-free rename produces, pre-built so the
+    #: fast tier can alias it without a per-instruction list build
+    dep_seqs: Tuple[int, ...] = ()
 
     @property
     def pc(self) -> int:
@@ -101,7 +119,8 @@ def prepare_stream(
     reg_values: List[int] = [0] * 64
     last_result_of_pc: Dict[int, Tuple[int, int]] = {}  # pc -> (seq, result)
     #: pc -> (fu, iq, latency, read_ids, is_load, is_store, dst, dst_id,
-    #:        source, source_reg_id) — the static facts of one instruction.
+    #:        source, source_reg_id, is_halt, is_control, cond_branch,
+    #:        needs_port) — the static facts of one instruction.
     static_cache: Dict[int, Tuple] = {}
 
     for record in trace:
@@ -123,15 +142,27 @@ def prepare_stream(
             source_reg_id = (
                 reg_id(source.reg) if source is not None and source.kind is SourceKind.REG else None
             )
+            needs_port = (
+                source is not None
+                and not inst.op.is_load
+                and not getattr(predictor, "table_backed", False)
+            )
             static = static_cache[pc] = (
                 fu, iq, inst.op.latency, read_ids,
                 inst.op.is_load, inst.op.is_store, dst, dst_id, source, source_reg_id,
+                inst.is_halt, inst.is_control, inst.op.kind is OpKind.BRANCH, needs_port,
             )
-        fu, iq, latency, read_ids, is_load, is_store, dst, dst_id, source, source_reg_id = static
+        (
+            fu, iq, latency, read_ids, is_load, is_store, dst, dst_id, source, source_reg_id,
+            is_halt, is_control, cond_branch, needs_port,
+        ) = static
 
         deps = tuple(lw_get(rid) if rid is not None else None for rid in read_ids)
         addr = record.addr
         store_dep = last_store.get(addr) if is_load and addr is not None else None
+        dep_seqs = tuple(d for d in deps if d is not None)
+        if store_dep is not None:
+            dep_seqs += (store_dep,)
         dst_old_writer = lw_get(dst_id) if dst_id is not None else None
 
         result = record.result
@@ -165,6 +196,13 @@ def prepare_stream(
                 value_dep=value_dep,
                 prev_instance=prev_instance,
                 pred_correct=pred_correct,
+                is_load=is_load,
+                is_store=is_store,
+                is_halt=is_halt,
+                is_control=is_control,
+                cond_branch=cond_branch,
+                needs_port=needs_port,
+                dep_seqs=dep_seqs,
             )
         )
 

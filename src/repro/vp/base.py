@@ -23,7 +23,7 @@ from __future__ import annotations
 import abc
 import enum
 from dataclasses import dataclass
-from typing import Optional
+from typing import Hashable, Optional
 
 from ..isa.instructions import Instruction
 from ..isa.registers import Reg
@@ -45,12 +45,28 @@ class ValuePredictor(abc.ABC):
     """Interface the pipeline drives.  Stateless instructions (no destination
     register) are never candidates."""
 
+    __slots__ = ()
+
     #: human-readable configuration name (shown in stats)
     name: str = "predictor"
+
+    #: does a prediction come from a dedicated value buffer (no register-file
+    #: read port cost)?  Mirrors the paper's storage/port accounting.
+    table_backed: bool = False
 
     @abc.abstractmethod
     def source(self, inst: Instruction) -> Optional[PredictionSource]:
         """Prediction source for this instruction, or None if not a candidate."""
+
+    def static_fingerprint(self) -> Optional[Hashable]:
+        """Hashable key identifying everything :meth:`source` (and
+        ``table_backed``) depend on, so a prepared pipeline stream — a pure
+        function of (trace, those two) — can be cached and shared across
+        predictor instances.  Two predictors with equal fingerprints MUST
+        yield identical ``source()`` results for every instruction of every
+        trace.  ``None`` (the default) means "not cacheable": the stream is
+        rebuilt per run (e.g. when ``source()`` mutates predictor state)."""
+        return None
 
     @abc.abstractmethod
     def confident(self, pc: int) -> bool:
@@ -71,10 +87,15 @@ class ValuePredictor(abc.ABC):
 class NoPredictor(ValuePredictor):
     """The no-prediction baseline."""
 
+    __slots__ = ()
+
     name = "no_predict"
 
     def source(self, inst: Instruction) -> Optional[PredictionSource]:
         return None
+
+    def static_fingerprint(self):
+        return ("no_predict",)
 
     def confident(self, pc: int) -> bool:
         return False

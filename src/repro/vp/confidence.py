@@ -19,6 +19,8 @@ DEFAULT_THRESHOLD = 7
 class ResettingCounterTable:
     """A direct-mapped table of resetting confidence counters."""
 
+    __slots__ = ("entries", "threshold", "_mask", "_counters")
+
     def __init__(self, entries: int, threshold: int = DEFAULT_THRESHOLD) -> None:
         if entries <= 0 or entries & (entries - 1):
             raise ValueError("entries must be a positive power of two")

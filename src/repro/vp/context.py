@@ -25,6 +25,11 @@ from .confidence import COUNTER_MAX, DEFAULT_THRESHOLD
 class ContextPredictor(ValuePredictor):
     """Order-k FCM (finite context method) value predictor."""
 
+    __slots__ = (
+        "entries", "vpt_entries", "order", "threshold", "loads_only", "name",
+        "_mask", "_vpt_mask", "_vht", "_vpt",
+    )
+
     table_backed = True
 
     def __init__(
@@ -70,6 +75,9 @@ class ContextPredictor(ValuePredictor):
         if self.loads_only and not inst.is_load:
             return None
         return PredictionSource(SourceKind.STORED)
+
+    def static_fingerprint(self):
+        return ("table_stored", self.loads_only)
 
     def confident(self, pc: int) -> bool:
         context = self._context(pc)

@@ -21,15 +21,18 @@ from .confidence import COUNTER_MAX, DEFAULT_THRESHOLD
 
 
 class GabbayRegisterPredictor(ValuePredictor):
-    """Per-architectural-register confidence; prediction reads the register."""
+    """Per-architectural-register confidence; prediction reads the register.
 
-    name = "grp_all"
+    ``static_fingerprint`` stays at the base ``None``: ``source()`` fills the
+    pc→register routing table as a side effect, so a cached stream prepared by
+    another instance would leave this one unable to route its counters."""
+
+    __slots__ = ("threshold", "loads_only", "name", "_counters", "_reg_of_pc")
 
     def __init__(self, threshold: int = DEFAULT_THRESHOLD, loads_only: bool = False) -> None:
         self.threshold = threshold
         self.loads_only = loads_only
-        if loads_only:
-            self.name = "grp"
+        self.name = "grp" if loads_only else "grp_all"
         self._counters = [0] * 64
         #: rename-time routing: pc -> register id, filled by source() so that
         #: confident()/update() (keyed by pc in the common interface) can find

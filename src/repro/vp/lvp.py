@@ -22,6 +22,8 @@ from .confidence import COUNTER_MAX, DEFAULT_THRESHOLD
 class LastValuePredictor(ValuePredictor):
     """Tagged, direct-mapped last-value table."""
 
+    __slots__ = ("entries", "threshold", "loads_only", "tagged", "name", "_mask", "_tags", "_values", "_counters")
+
     #: STORED values come from a real hardware table (available at rename with
     #: no dependence), unlike the idealised reserved-register model.
     table_backed = True
@@ -44,6 +46,11 @@ class LastValuePredictor(ValuePredictor):
         self._tags: List[Optional[int]] = [None] * entries
         self._values: List[int] = [0] * entries
         self._counters: List[int] = [0] * entries
+
+    def static_fingerprint(self):
+        # source() depends only on loads_only; every table-backed STORED
+        # predictor with the same candidate filter shares a stream.
+        return ("table_stored", self.loads_only)
 
     def _hit(self, pc: int) -> bool:
         idx = pc & self._mask

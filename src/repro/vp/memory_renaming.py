@@ -26,6 +26,11 @@ from .confidence import COUNTER_MAX, DEFAULT_THRESHOLD
 class MemoryRenamingPredictor(ValuePredictor):
     """Store-load communication predictor (loads only, by construction)."""
 
+    __slots__ = (
+        "entries", "threshold", "_mask", "_stores", "_store_cap",
+        "_store_values", "_tags", "_channels", "_counters",
+    )
+
     table_backed = True
     name = "memren"
 
@@ -62,6 +67,10 @@ class MemoryRenamingPredictor(ValuePredictor):
         if not inst.is_load or inst.writes is None:
             return None
         return PredictionSource(SourceKind.STORED)
+
+    def static_fingerprint(self):
+        # Candidates are loads-with-destinations, exactly loads_only STORED.
+        return ("table_stored", True)
 
     def _hit(self, pc: int) -> bool:
         return self._tags[pc & self._mask] == pc

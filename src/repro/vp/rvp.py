@@ -34,6 +34,11 @@ from .confidence import DEFAULT_THRESHOLD, ResettingCounterTable
 class DynamicRVP(ValuePredictor):
     """PC-indexed confidence counters + register-file prediction sources."""
 
+    __slots__ = (
+        "counters", "tagged", "_tags", "loads_only", "lists",
+        "use_dead", "use_live", "use_lv", "_last_result", "name",
+    )
+
     def __init__(
         self,
         entries: int = 1024,
@@ -79,6 +84,11 @@ class DynamicRVP(ValuePredictor):
             elif hint is HintKind.LAST_VALUE:
                 return PredictionSource(SourceKind.STORED)
         return PredictionSource(SourceKind.DST)
+
+    def static_fingerprint(self):
+        # entries/threshold/tagged shape only confidence, not source().
+        lists_fp = self.lists.fingerprint() if self.lists is not None else None
+        return ("rvp", self.loads_only, self.use_dead, self.use_live, self.use_lv, lists_fp)
 
     def confident(self, pc: int) -> bool:
         if self.tagged and self._tags.get(self.counters.index(pc)) != pc:

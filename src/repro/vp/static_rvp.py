@@ -20,6 +20,8 @@ from .base import PredictionSource, SourceKind, ValuePredictor
 class StaticRVP(ValuePredictor):
     """Opcode-driven prediction of marked loads."""
 
+    __slots__ = ("lists", "use_dead", "use_live", "use_lv", "_last_result", "name")
+
     def __init__(
         self,
         lists: Optional[ProfileLists] = None,
@@ -51,6 +53,12 @@ class StaticRVP(ValuePredictor):
             elif hint is HintKind.LAST_VALUE:
                 return PredictionSource(SourceKind.STORED)
         return PredictionSource(SourceKind.DST)
+
+    def static_fingerprint(self):
+        # The rvp_marked gate is a property of the (marked) program, which the
+        # trace key already identifies; only the hint routing varies here.
+        lists_fp = self.lists.fingerprint() if self.lists is not None else None
+        return ("srvp", self.use_dead, self.use_live, self.use_lv, lists_fp)
 
     def confident(self, pc: int) -> bool:
         return True  # marked loads are always predicted

@@ -25,6 +25,8 @@ from .confidence import COUNTER_MAX, DEFAULT_THRESHOLD
 class StridePredictor(ValuePredictor):
     """Tagged last-value + stride table (predicts ``value + stride``)."""
 
+    __slots__ = ("entries", "threshold", "loads_only", "name", "_mask", "_tags", "_values", "_strides", "_counters")
+
     table_backed = True
 
     def __init__(
@@ -51,6 +53,9 @@ class StridePredictor(ValuePredictor):
         if self.loads_only and not inst.is_load:
             return None
         return PredictionSource(SourceKind.STORED)
+
+    def static_fingerprint(self):
+        return ("table_stored", self.loads_only)
 
     def _hit(self, pc: int) -> bool:
         return self._tags[pc & self._mask] == pc

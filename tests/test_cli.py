@@ -284,8 +284,9 @@ def test_fuzz_command_json(capsys):
     assert payload["ok"] is True
     assert payload["checked"] == 3
     assert payload["failures"] == []
-    assert len(payload["oracles"]) == 5
+    assert len(payload["oracles"]) == 6
     assert "absint-soundness" in payload["oracles"]
+    assert "pipeline-equivalence" in payload["oracles"]
 
 
 def test_fuzz_command_oracle_subset(capsys):
