@@ -23,6 +23,22 @@ Commands
 
                  python -m repro suite --config no_predict lvp_all drvp_all_dead_lv --jobs 4
 
+             With ``--workers N`` the campaign runs under the fault-tolerant
+             supervisor (:mod:`repro.runtime.service`): N leased worker
+             processes, heartbeat-monitored, with crashed/wedged workers'
+             cells stolen back and re-dispatched; ``--store DIR`` adds the
+             shared content-addressed result store so identical cells are
+             never re-simulated across campaigns::
+
+                 python -m repro suite --out-dir runs --workers 4 --store /var/cache/repro
+
+``serve``    Long-running campaign service: watch a spool directory for
+             campaign spec JSON files, run each under the supervisor,
+             journal + report under ``--out-dir``, resuming any campaign a
+             killed service left unfinished::
+
+                 python -m repro serve --spool spool/ --out-dir runs --workers 4 --store store/
+
 ``metrics``  Run configurations, then emit results + execution metrics
              (session-cache hit rates, sim wall time, pool utilization) as
              structured JSON::
@@ -131,9 +147,10 @@ def _render_campaign(report, args: argparse.Namespace) -> int:
     total = sum(counts.values())
     verb = "resumed" if report.resumed else "run"
     restored = f", {report.restored} restored" if report.restored else ""
+    from_store = f", {report.store_hits} from store" if report.store_hits else ""
     print(
         f"  campaign {report.run_id} ({verb}): {counts.get('ok', 0)}/{total} cells ok"
-        f"{restored}, journal {report.journal_path}"
+        f"{restored}{from_store}, journal {report.journal_path}"
     )
     table = _campaign_table(report)
     print()
@@ -155,13 +172,47 @@ def _render_campaign(report, args: argparse.Namespace) -> int:
     return 0
 
 
+def _campaign_store(args: argparse.Namespace):
+    """The shared content-addressed result store named by ``--store``, if any."""
+    store_dir = getattr(args, "store", None)
+    if not store_dir:
+        return None
+    from .runtime.store import ResultStore
+
+    return ResultStore(store_dir)
+
+
 def _run_campaign_cli(args: argparse.Namespace, workloads) -> int:
     from .runtime import CampaignSpec, JournalError, resume_campaign, run_campaign
 
     jobs = getattr(args, "jobs", 1)
+    workers = getattr(args, "workers", None)
+    store = _campaign_store(args)
     try:
-        if getattr(args, "resume", None):
-            report = resume_campaign(args.out_dir, args.resume, jobs=jobs)
+        if workers:
+            # Supervised service path: leased workers, work stealing, shared store.
+            from .runtime.service import resume_service_campaign, run_service_campaign
+
+            service_kwargs = {"workers": workers, "store": store}
+            if getattr(args, "lease", None):
+                service_kwargs["lease_duration"] = args.lease
+            if getattr(args, "resume", None):
+                report = resume_service_campaign(args.out_dir, args.resume, **service_kwargs)
+            else:
+                spec = CampaignSpec(
+                    workloads=tuple(workloads),
+                    configs=tuple(args.config),
+                    recoveries=(RecoveryScheme.parse(args.recovery).value,),
+                    machine="aggressive" if args.wide else "table1",
+                    max_instructions=args.max_insts,
+                    threshold=args.threshold,
+                    jobs=workers,
+                )
+                report = run_service_campaign(
+                    spec, args.out_dir, run_id=args.run_id, **service_kwargs
+                )
+        elif getattr(args, "resume", None):
+            report = resume_campaign(args.out_dir, args.resume, jobs=jobs, store=store)
         else:
             spec = CampaignSpec(
                 workloads=tuple(workloads),
@@ -172,7 +223,7 @@ def _run_campaign_cli(args: argparse.Namespace, workloads) -> int:
                 threshold=args.threshold,
                 jobs=jobs,
             )
-            report = run_campaign(spec, args.out_dir, run_id=args.run_id)
+            report = run_campaign(spec, args.out_dir, run_id=args.run_id, store=store)
     except JournalError as exc:
         print(f"repro: {exc}", file=sys.stderr)
         return 2
@@ -249,6 +300,118 @@ def _cmd_suite(args: argparse.Namespace) -> int:
     print(table.render_coverage("coverage/accuracy"))
     _maybe_profile(args)
     return 0
+
+
+def _cmd_serve(args: argparse.Namespace) -> int:
+    """Campaign service: drain spooled campaign specs through the supervisor.
+
+    Each ``<name>.json`` dropped into ``--spool`` is a campaign config (the
+    same canonical payload ``CampaignSpec.config_dict`` produces); the
+    service runs it under supervision (leased workers, work stealing, shared
+    ``--store``), writes ``<run-id>.report.json`` next to the journal, and
+    moves the spec file to ``done/`` (or ``failed/`` with a ``.error`` note).
+    A service killed mid-campaign resumes that campaign's journal on restart
+    before taking new specs.
+    """
+    import json
+    import os
+    import time as _time
+
+    from .runtime import CampaignSpec, JournalError, list_run_ids
+    from .runtime.service import resume_service_campaign, run_service_campaign
+
+    store = _campaign_store(args)
+    os.makedirs(args.spool, exist_ok=True)
+    os.makedirs(args.out_dir, exist_ok=True)
+    done_dir = os.path.join(args.spool, "done")
+    failed_dir = os.path.join(args.spool, "failed")
+    os.makedirs(done_dir, exist_ok=True)
+    os.makedirs(failed_dir, exist_ok=True)
+
+    def _report_payload(report) -> dict:
+        return {
+            "run_id": report.run_id,
+            "complete": report.complete,
+            "counts": report.counts(),
+            "statuses": report.statuses,
+            "failures": report.failures,
+            "restored": report.restored,
+            "store_hits": report.store_hits,
+        }
+
+    def _finish(report) -> bool:
+        from .runtime import atomic_write_json
+
+        atomic_write_json(
+            os.path.join(args.out_dir, f"{report.run_id}.report.json"), _report_payload(report)
+        )
+        print(
+            f"serve: campaign {report.run_id}: {report.counts().get('ok', 0)}"
+            f"/{len(report.statuses)} ok"
+            + (f", {report.store_hits} from store" if report.store_hits else "")
+        )
+        return report.complete
+
+    all_ok = True
+    # Crash recovery first: any journal under out_dir with pending cells is a
+    # campaign a previous service instance never finished.
+    for run_id in list_run_ids(args.out_dir):
+        try:
+            from .runtime import RunJournal, journal_path
+
+            journal = RunJournal.open(journal_path(args.out_dir, run_id))
+            pending = journal.pending_cells()
+            journal.close()
+            if not pending:
+                continue
+            print(f"serve: resuming interrupted campaign {run_id} ({len(pending)} cells left)")
+            report = resume_service_campaign(
+                args.out_dir, run_id, workers=args.workers, store=store,
+                lease_duration=args.lease,
+            )
+            all_ok = _finish(report) and all_ok
+        except (JournalError, ValueError) as exc:
+            print(f"serve: cannot resume {run_id}: {exc}", file=sys.stderr)
+            all_ok = False
+
+    try:
+        while True:
+            specs = sorted(
+                name
+                for name in os.listdir(args.spool)
+                if name.endswith(".json") and os.path.isfile(os.path.join(args.spool, name))
+            )
+            for name in specs:
+                path = os.path.join(args.spool, name)
+                stem = name[: -len(".json")]
+                try:
+                    with open(path, "r", encoding="utf-8") as handle:
+                        payload = json.load(handle)
+                    spec = CampaignSpec.from_config(payload)
+                    report = run_service_campaign(
+                        spec, args.out_dir, run_id=stem, workers=args.workers,
+                        store=store, lease_duration=args.lease,
+                    )
+                except (JournalError, KeyError, TypeError, ValueError) as exc:
+                    os.replace(path, os.path.join(failed_dir, name))
+                    with open(os.path.join(failed_dir, f"{stem}.error"), "w", encoding="utf-8") as handle:
+                        handle.write(f"{exc!r}\n")
+                    print(f"serve: spec {name} failed: {exc}", file=sys.stderr)
+                    all_ok = False
+                    continue
+                os.replace(path, os.path.join(done_dir, name))
+                all_ok = _finish(report) and all_ok
+            if args.once:
+                break
+            if not specs:
+                _time.sleep(args.poll)
+    except KeyboardInterrupt:
+        print(
+            "\nserve: interrupted; unfinished campaigns resume on the next start",
+            file=sys.stderr,
+        )
+        return 130
+    return 0 if all_ok else 2
 
 
 def _cmd_metrics(args: argparse.Namespace) -> int:
@@ -951,6 +1114,21 @@ def build_parser() -> argparse.ArgumentParser:
             "--resume", metavar="RUN_ID",
             help="finish an interrupted campaign: restore ok cells from the journal, run the rest",
         )
+        sub_parser.add_argument(
+            "--workers", type=int, metavar="N",
+            help="run the campaign under the fault-tolerant supervisor with N "
+            "leased worker processes (work stealing, crash recovery)",
+        )
+        sub_parser.add_argument(
+            "--store", metavar="DIR",
+            help="shared content-addressed result store: identical cells are "
+            "restored from DIR instead of re-simulated, across campaigns",
+        )
+        sub_parser.add_argument(
+            "--lease", type=float, metavar="SECONDS",
+            help="lease duration before a silent worker's cell is stolen "
+            "(with --workers; default 30)",
+        )
 
     run_parser = sub.add_parser("run", help="run configurations on one workload")
     run_parser.add_argument("--workload", choices=sorted(WORKLOAD_CLASSES))
@@ -970,6 +1148,32 @@ def build_parser() -> argparse.ArgumentParser:
     _add_campaign(suite_parser)
     _add_common(suite_parser)
     suite_parser.set_defaults(fn=_cmd_suite)
+
+    serve_parser = sub.add_parser(
+        "serve", help="campaign service: drain spooled campaign specs through the supervisor"
+    )
+    serve_parser.add_argument(
+        "--spool", required=True, metavar="DIR",
+        help="directory watched for <name>.json campaign specs (CampaignSpec.config_dict payloads)",
+    )
+    serve_parser.add_argument(
+        "--out-dir", required=True, metavar="DIR", help="journal + report directory for campaigns"
+    )
+    serve_parser.add_argument("--workers", type=int, default=2, metavar="N", help="worker pool size")
+    serve_parser.add_argument(
+        "--store", metavar="DIR", help="shared content-addressed result store directory"
+    )
+    serve_parser.add_argument(
+        "--lease", type=float, default=30.0, metavar="SECONDS", help="worker lease duration"
+    )
+    serve_parser.add_argument(
+        "--poll", type=float, default=2.0, metavar="SECONDS", help="spool scan interval"
+    )
+    serve_parser.add_argument(
+        "--once", action="store_true",
+        help="process the current spool (after resuming interrupted campaigns) and exit",
+    )
+    serve_parser.set_defaults(fn=_cmd_serve)
 
     metrics_parser = sub.add_parser("metrics", help="run configurations and emit results + metrics JSON")
     metrics_parser.add_argument("--workload", default="m88ksim", choices=sorted(WORKLOAD_CLASSES))

@@ -65,7 +65,7 @@ from ..profiling.critpath import CriticalPathBuilder
 from ..profiling.lists import ProfileLists
 from ..profiling.reuse import ReuseProfile, ReuseProfileBuilder
 from ..runtime.errors import DETERMINISTIC, classify_failure, is_timeout
-from ..runtime.retry import backoff_delay
+from ..runtime.retry import backoff_delays
 from ..sim.functional import FunctionalSimulator
 from ..sim.trace import TraceRecord
 from ..uarch.config import MachineConfig
@@ -530,6 +530,9 @@ class SuiteReport:
     failure_kinds: Dict[SuiteCell, str] = field(default_factory=dict)
     #: Total execution attempts per cell (1 = first try succeeded/failed fast).
     attempts: Dict[SuiteCell, int] = field(default_factory=dict)
+    #: Cells satisfied by the shared content-addressed result store (L2)
+    #: without any simulation at all.
+    store_hits: int = 0
 
 
 def derive_cell_timeout(max_instructions: int) -> float:
@@ -610,6 +613,8 @@ class ParallelSuiteRunner:
         retries: int = 2,
         journal=None,
         cells: Optional[Sequence[SuiteCell]] = None,
+        store=None,
+        retry_deadline: Optional[float] = None,
     ) -> None:
         if cells is not None:
             # Explicit cell list: the campaign resume path runs exactly the
@@ -632,17 +637,26 @@ class ParallelSuiteRunner:
         )
         self.retries = max(0, retries)
         self.journal = journal
+        #: Shared content-addressed :class:`~repro.runtime.store.ResultStore`
+        #: (L2): hit cells are committed without simulation, fresh ``ok``
+        #: results are published back for every later campaign.
+        self.store = store
+        #: Total-elapsed backoff budget for one cell's transient retries
+        #: (defaults to the cell's wall-clock deadline): retrying must never
+        #: cost more than the cell itself was allowed to.
+        self.retry_deadline = self.cell_timeout if retry_deadline is None else retry_deadline
 
     # ------------------------------------------------------------------
     def run(self) -> SuiteReport:
         metrics = get_metrics()
         metrics.inc("pool.cells", len(self.cells))
         report = SuiteReport()
-        if self.jobs <= 1 or len(self.cells) <= 1:
-            self._run_serial(self.cells, report)
+        cells = self._restore_from_store(self.cells, report)
+        if self.jobs <= 1 or len(cells) <= 1:
+            self._run_serial(cells, report)
             return report
         try:
-            self._run_parallel(report)
+            self._run_parallel(cells, report)
             report.used_processes = True
         except (process.BrokenProcessPool, OSError, RuntimeError) as exc:
             # Pool-level failure (sandboxed fork, dead workers, ...): finish
@@ -651,25 +665,91 @@ class ParallelSuiteRunner:
             done = {(r.workload, r.config, r.recovery) for r in report.results}
             remaining = [
                 cell
-                for cell in self.cells
+                for cell in cells
                 if (cell.workload, cell.config, cell.recovery) not in done and cell not in report.failures
             ]
             self._run_serial(remaining, report, note=f"pool failure: {exc}")
         return report
 
     # ------------------------------------------------------------------
+    # Shared result store (the persistent L2 under each worker's SimSession)
+    # ------------------------------------------------------------------
+    def _effective_machine(self) -> MachineConfig:
+        from ..uarch.config import table1_config
+
+        return self.machine if self.machine is not None else table1_config()
+
+    def store_key(self, cell: SuiteCell) -> str:
+        """Content address of one cell under this runner's configuration."""
+        from ..runtime.store import cell_store_key
+
+        return cell_store_key(
+            cell.cell_id,
+            self._effective_machine(),
+            self.max_instructions,
+            self.threshold,
+            self.scale,
+        )
+
+    def _restore_from_store(self, cells: Sequence[SuiteCell], report: SuiteReport) -> List[SuiteCell]:
+        """Commit every store-hit cell as ``ok``; return the cells left to run.
+
+        A hit is a *restored* result: no ExperimentRunner is constructed, no
+        simulator runs, and the journal records the cell exactly as if it
+        had executed — which is what makes identical cells free across
+        campaigns, users and concurrent supervisors.
+        """
+        if self.store is None:
+            return list(cells)
+        from .experiment import ExperimentResult
+
+        remaining: List[SuiteCell] = []
+        for cell in cells:
+            payload = self.store.get(self.store_key(cell))
+            if payload is None:
+                remaining.append(cell)
+                continue
+            try:
+                result = ExperimentResult.from_dict(payload)
+            except (KeyError, TypeError, ValueError):
+                # A schema drift reads as a miss, never a crash.
+                remaining.append(cell)
+                continue
+            report.store_hits += 1
+            get_metrics().inc("pool.cells_from_store")
+            self._commit_ok(cell, result, report, attempts=0, started=time.monotonic(), persist=False)
+        return remaining
+
+    # ------------------------------------------------------------------
     # Terminal-state commits (report + journal in one place)
     # ------------------------------------------------------------------
-    def _commit_ok(self, cell: SuiteCell, result, report: SuiteReport, attempts: int, started: float) -> None:
+    def _commit_ok(
+        self,
+        cell: SuiteCell,
+        result,
+        report: SuiteReport,
+        attempts: int,
+        started: float,
+        persist: bool = True,
+    ) -> None:
         report.results.append(result)
         report.statuses[cell] = "ok"
         report.attempts[cell] = attempts
+        payload = result.to_dict() if hasattr(result, "to_dict") else None
         if self.journal is not None:
-            payload = result.to_dict() if hasattr(result, "to_dict") else None
             self.journal.record(
                 cell.cell_id, "ok", attempts=attempts,
                 elapsed_s=time.monotonic() - started, result=payload,
             )
+        # Publish fresh results to the shared L2 (restored ones came from
+        # there; re-putting them would only churn mtimes under prune).
+        if persist and self.store is not None and payload is not None:
+            try:
+                self.store.put(self.store_key(cell), payload, cell_id=cell.cell_id)
+            except OSError:
+                # The store is an accelerator, never a correctness dependency:
+                # a full or read-only store must not fail the cell.
+                pass
 
     def _commit_failure(
         self,
@@ -731,9 +811,9 @@ class ParallelSuiteRunner:
         else:
             shutdown(wait=True)
 
-    def _run_parallel(self, report: SuiteReport) -> None:
+    def _run_parallel(self, cells: Sequence[SuiteCell], report: SuiteReport) -> None:
         metrics = get_metrics()
-        workers = max(1, min(self.jobs, len(self.cells)))
+        workers = max(1, min(self.jobs, len(cells)))
         metrics.inc("pool.workers", workers)
         pool = self.executor_factory(max_workers=workers)
         try:
@@ -741,7 +821,7 @@ class ParallelSuiteRunner:
                 pool.submit(
                     _run_cell, cell, self.machine, self.max_instructions, self.threshold, self.scale
                 ): cell
-                for cell in self.cells
+                for cell in cells
             }
             with metrics.timer("pool.wall"):
                 for future, cell in futures.items():
@@ -774,7 +854,8 @@ class ParallelSuiteRunner:
         Deterministic failures are final on the first attempt (replaying
         deterministic code on deterministic inputs replays the failure);
         transient failures are retried serially in the parent, up to
-        ``self.retries`` times, behind deterministically-jittered backoff.
+        ``self.retries`` times, behind deterministically-jittered backoff
+        whose *total elapsed delay* is capped by ``self.retry_deadline``.
         A retry that raises a *deterministic* error also stops immediately.
         """
         metrics = get_metrics()
@@ -787,9 +868,14 @@ class ParallelSuiteRunner:
             return
         last_error: Exception = first_error
         attempts = 1
-        for attempt in range(self.retries):
+        schedule = backoff_delays(
+            self.retries,
+            seed=(cell.workload, cell.config, cell.recovery),
+            deadline=self.retry_deadline,
+        )
+        for delay in schedule:
             metrics.inc("pool.retries")
-            self._sleep(backoff_delay(attempt, seed=(cell.workload, cell.config, cell.recovery)))
+            self._sleep(delay)
             attempts += 1
             try:
                 result = self._run_local(cell)

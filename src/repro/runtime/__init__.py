@@ -8,22 +8,46 @@ Layers, bottom-up:
 * :mod:`~repro.runtime.errors` — the transient/deterministic failure
   taxonomy threaded through :class:`~repro.core.session.ParallelSuiteRunner`.
 * :mod:`~repro.runtime.journal` — the append-only JSONL run journal.
+* :mod:`~repro.runtime.heartbeat` — clocks, heartbeat boards and the lease
+  protocol the campaign service's work stealing is built on.
+* :mod:`~repro.runtime.store` — the shared content-addressed result store
+  (the persistent L2 under each worker's in-process session).
 * :mod:`~repro.runtime.campaign` — specs, run/resume orchestration.
+* :mod:`~repro.runtime.service` — the supervised multi-worker campaign
+  service (leases, work stealing, pool rebuilds, serial degradation).
 
-``campaign`` is exposed lazily (module-level ``__getattr__``): it imports
-:mod:`repro.core.session`, which itself imports this package's ``errors``
-and ``retry`` modules, so importing it eagerly here would create an import
-cycle through a half-initialized package.
+``campaign``, ``store`` and ``service`` are exposed lazily (module-level
+``__getattr__``): they import :mod:`repro.core` modules, which themselves
+import this package's ``errors`` and ``retry`` modules, so importing them
+eagerly here would create an import cycle through a half-initialized
+package.
 """
 
-from .atomic import atomic_write_json, atomic_write_text, fsync_directory
+from .atomic import (
+    atomic_write_json,
+    atomic_write_text,
+    ensure_durable_directory,
+    fsync_directory,
+)
+from .heartbeat import (
+    DEFAULT_LEASE_DURATION,
+    FileHeartbeatBoard,
+    HeartbeatBoard,
+    Lease,
+    LeaseError,
+    LeaseTable,
+    ManualClock,
+    MonotonicClock,
+)
 from .errors import (
     DETERMINISTIC,
     TRANSIENT,
     BudgetExceeded,
     CampaignError,
     DeterministicError,
+    LeaseExpired,
     TransientError,
+    WorkerCrashed,
     classify_failure,
     is_timeout,
 )
@@ -48,16 +72,35 @@ _CAMPAIGN_EXPORTS = (
     "resume_campaign",
 )
 
+#: Names resolved lazily from .store (imports repro.core.metrics).
+_STORE_EXPORTS = (
+    "ResultStore",
+    "StoreError",
+    "cell_store_key",
+    "result_digest",
+)
+
+#: Names resolved lazily from .service (imports repro.core.session).
+_SERVICE_EXPORTS = (
+    "CampaignSupervisor",
+    "ServiceStats",
+    "run_service_campaign",
+    "resume_service_campaign",
+)
+
 __all__ = [
     "atomic_write_json",
     "atomic_write_text",
+    "ensure_durable_directory",
     "fsync_directory",
     "DETERMINISTIC",
     "TRANSIENT",
     "BudgetExceeded",
     "CampaignError",
     "DeterministicError",
+    "LeaseExpired",
     "TransientError",
+    "WorkerCrashed",
     "classify_failure",
     "is_timeout",
     "JOURNAL_SCHEMA",
@@ -69,7 +112,17 @@ __all__ = [
     "new_run_id",
     "backoff_delay",
     "backoff_delays",
+    "DEFAULT_LEASE_DURATION",
+    "FileHeartbeatBoard",
+    "HeartbeatBoard",
+    "Lease",
+    "LeaseError",
+    "LeaseTable",
+    "ManualClock",
+    "MonotonicClock",
     *_CAMPAIGN_EXPORTS,
+    *_STORE_EXPORTS,
+    *_SERVICE_EXPORTS,
 ]
 
 
@@ -78,4 +131,12 @@ def __getattr__(name: str):
         from . import campaign
 
         return getattr(campaign, name)
+    if name in _STORE_EXPORTS:
+        from . import store
+
+        return getattr(store, name)
+    if name in _SERVICE_EXPORTS:
+        from . import service
+
+        return getattr(service, name)
     raise AttributeError(f"module {__name__!r} has no attribute {name!r}")

@@ -35,6 +35,34 @@ def fsync_directory(path: str) -> None:
         os.close(fd)
 
 
+def ensure_durable_directory(path: str) -> str:
+    """``makedirs`` whose creations survive a crash (POSIX rename gap).
+
+    ``os.makedirs`` alone leaves the new directory's *entry in its parent*
+    unsynced: a power cut after "create out_dir, write journal, fsync
+    journal + out_dir" can still lose the whole tree, because out_dir itself
+    was never durable.  This walks the missing suffix of ``path``, creating
+    each component and fsyncing its parent, so every directory entry on the
+    path is on disk before the caller writes into it.
+    """
+    path = os.path.abspath(path)
+    missing = []
+    probe = path
+    while probe and not os.path.isdir(probe):
+        missing.append(probe)
+        parent = os.path.dirname(probe)
+        if parent == probe:
+            break
+        probe = parent
+    for directory in reversed(missing):
+        try:
+            os.mkdir(directory)
+        except FileExistsError:
+            continue
+        fsync_directory(os.path.dirname(directory))
+    return path
+
+
 def atomic_write_text(path: str, text: str, fsync: bool = True) -> None:
     """Write ``text`` to ``path`` atomically (temp file + rename).
 

@@ -83,14 +83,19 @@ class CampaignSpec:
 
     @classmethod
     def from_config(cls, config: Dict[str, object], jobs: int = 1) -> "CampaignSpec":
-        """Rebuild a spec from a journal header (the header wins on resume)."""
+        """Rebuild a spec from a journal header or a spooled spec file.
+
+        Journal headers (written by :meth:`config_dict`) always carry every
+        key; hand-written spool specs may omit anything with a dataclass
+        default, so only the grid axes are required.
+        """
         return cls(
             workloads=tuple(config["workloads"]),
             configs=tuple(config["configs"]),
-            recoveries=tuple(config["recoveries"]),
+            recoveries=tuple(config.get("recoveries", ("selective",))),
             machine=str(config.get("machine", "table1")),
-            max_instructions=int(config["max_instructions"]),
-            threshold=float(config["threshold"]),
+            max_instructions=int(config.get("max_instructions", 40_000)),
+            threshold=float(config.get("threshold", 0.8)),
             scale=float(config.get("scale", 1.0)),
             jobs=jobs,
         )
@@ -199,6 +204,9 @@ class CampaignReport:
     #: workload -> input -> fused-batch digest record (see
     #: :func:`compute_batch_digests`).
     batch_digests: Dict[str, Dict[str, Dict[str, object]]] = field(default_factory=dict)
+    #: Cells satisfied by the shared content-addressed result store without
+    #: any simulation (distinct from ``restored``, which replays the journal).
+    store_hits: int = 0
 
     @property
     def complete(self) -> bool:
@@ -238,6 +246,53 @@ def deliver_sigterm_as_interrupt():
         signal.signal(signal.SIGTERM, previous)
 
 
+def build_report(
+    spec: CampaignSpec,
+    journal: RunJournal,
+    restored: Dict[str, ExperimentResult],
+    fresh: Dict[str, ExperimentResult],
+    resumed: bool,
+    executed: int,
+    used_processes: bool,
+    store_hits: int = 0,
+) -> CampaignReport:
+    """Assemble a :class:`CampaignReport` from journal state + in-memory results.
+
+    Shared by the in-process campaign path (:func:`run_campaign`) and the
+    supervised service path (:mod:`repro.runtime.service`): the journal's
+    replayed states are authoritative for statuses and diagnostics, while
+    ``restored``/``fresh`` supply the deserialized result objects in grid
+    order.
+    """
+    report = CampaignReport(
+        run_id=journal.run_id,
+        journal_path=journal.path,
+        spec=spec,
+        resumed=resumed,
+        restored=len(restored),
+        executed=executed,
+        used_processes=used_processes,
+        store_hits=store_hits,
+    )
+    states = journal.states()
+    for cell in spec.cells():
+        cell_id = cell.cell_id
+        entry = states.get(cell_id)
+        report.statuses[cell_id] = str(entry["status"]) if entry else PENDING
+        result = fresh.get(cell_id) or restored.get(cell_id)
+        if result is None and entry and entry.get("status") == OK and entry.get("result"):
+            # Journal has a committed payload the caller never materialized
+            # (e.g. a store hit committed straight to the journal).
+            result = ExperimentResult.from_dict(entry["result"])
+        if result is not None:
+            report.results.append(result)
+        elif entry and entry.get("error"):
+            report.failures[cell_id] = str(entry["error"])
+            if entry.get("error_kind"):
+                report.failure_kinds[cell_id] = str(entry["error_kind"])
+    return report
+
+
 def _execute(
     spec: CampaignSpec,
     journal: RunJournal,
@@ -248,6 +303,7 @@ def _execute(
     retries: int,
     cell_timeout: Optional[float],
     executor_factory,
+    store=None,
 ) -> CampaignReport:
     runner = ParallelSuiteRunner(
         machine=machine if machine is not None else spec.build_machine(),
@@ -259,6 +315,7 @@ def _execute(
         cell_timeout=cell_timeout,
         journal=journal,
         cells=list(cells_to_run),
+        store=store,
     )
     if executor_factory is not None:
         runner.executor_factory = executor_factory
@@ -271,30 +328,14 @@ def _execute(
         # process can resume from exactly this point.
         journal.close()
         raise
-    report = CampaignReport(
-        run_id=journal.run_id,
-        journal_path=journal.path,
-        spec=spec,
-        resumed=resumed,
-        restored=len(restored),
-        executed=len(cells_to_run),
-        used_processes=suite_report.used_processes,
-    )
     fresh: Dict[str, ExperimentResult] = {
         SuiteCell(r.workload, r.config, r.recovery).cell_id: r for r in suite_report.results
     }
-    states = journal.states()
-    for cell in spec.cells():
-        cell_id = cell.cell_id
-        entry = states.get(cell_id)
-        report.statuses[cell_id] = str(entry["status"]) if entry else PENDING
-        result = fresh.get(cell_id) or restored.get(cell_id)
-        if result is not None:
-            report.results.append(result)
-        elif entry and entry.get("error"):
-            report.failures[cell_id] = str(entry["error"])
-            if entry.get("error_kind"):
-                report.failure_kinds[cell_id] = str(entry["error_kind"])
+    report = build_report(
+        spec, journal, restored, fresh, resumed=resumed,
+        executed=len(cells_to_run), used_processes=suite_report.used_processes,
+        store_hits=suite_report.store_hits,
+    )
     journal.close()
     return report
 
@@ -307,6 +348,7 @@ def run_campaign(
     retries: int = 2,
     cell_timeout: Optional[float] = None,
     executor_factory=None,
+    store=None,
 ) -> CampaignReport:
     """Execute a fresh campaign with a new journal under ``out_dir``."""
     run_id = run_id if run_id is not None else new_run_id()
@@ -315,7 +357,7 @@ def run_campaign(
     report = _execute(
         spec, journal, spec.cells(), restored={}, resumed=False,
         machine=machine, retries=retries, cell_timeout=cell_timeout,
-        executor_factory=executor_factory,
+        executor_factory=executor_factory, store=store,
     )
     report.batch_digests = digests
     return report
@@ -330,6 +372,7 @@ def resume_campaign(
     retries: int = 2,
     cell_timeout: Optional[float] = None,
     executor_factory=None,
+    store=None,
 ) -> CampaignReport:
     """Finish an interrupted campaign: restore ``ok`` cells, run the rest.
 
@@ -353,7 +396,7 @@ def resume_campaign(
     report = _execute(
         header_spec, journal, cells_to_run, restored=restored, resumed=True,
         machine=machine, retries=retries, cell_timeout=cell_timeout,
-        executor_factory=executor_factory,
+        executor_factory=executor_factory, store=store,
     )
     report.batch_digests = digests
     return report

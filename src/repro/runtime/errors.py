@@ -47,6 +47,26 @@ class TransientError(CampaignError):
     """A retryable environment failure, wrapping the original cause."""
 
 
+class WorkerCrashed(TransientError):
+    """A worker process died (SIGKILL, OOM-kill) while holding a cell.
+
+    The environment failed, not the experiment: the same cell re-dispatched
+    to a surviving worker is expected to succeed, so the supervisor treats a
+    crash exactly like any other transient — re-dispatch with backoff,
+    bounded by the retry budget and the cell's wall-clock deadline.
+    """
+
+
+class LeaseExpired(TransientError):
+    """A worker stopped heartbeating past its lease deadline.
+
+    Raised *on the worker's behalf* by the supervisor when it reclaims the
+    lease of a wedged or silently-dead worker (work stealing).  Transient by
+    the same argument as :class:`WorkerCrashed`; the stale worker's late
+    result, if one ever arrives, is discarded by the cell's dispatch epoch.
+    """
+
+
 class DeterministicError(CampaignError):
     """A repeatable experiment failure; retrying would replay it."""
 

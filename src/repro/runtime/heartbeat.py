@@ -1,0 +1,283 @@
+"""Liveness primitives for the campaign service: clocks, heartbeats, leases.
+
+The supervisor (:mod:`repro.runtime.service`) never trusts a worker to be
+alive — it requires *proof of liveness* per claimed cell, renewed on a
+deadline.  Three cooperating pieces:
+
+Clocks
+    Every time comparison in the service layer goes through an injectable
+    clock.  Production uses :class:`MonotonicClock`; the chaos harness
+    (:mod:`repro.testing.faults`) uses :class:`ManualClock`, which only moves
+    when the test advances it — so lease-expiry races are *scripted*, never
+    raced against the wall clock, and every recovery path replays
+    deterministically.
+
+Heartbeats
+    A :class:`HeartbeatBoard` is the one-way channel from workers to the
+    supervisor: ``beat(cell_id, worker)`` publishes "worker W is still
+    making progress on cell C at time T".  :class:`FileHeartbeatBoard` backs
+    it with one tiny file per cell so real pool workers (separate processes)
+    can publish across the process boundary; the in-memory base class serves
+    the deterministic chaos tests.
+
+Leases
+    A :class:`Lease` is the supervisor-side claim record: worker W owns cell
+    C until ``deadline``.  Fresh heartbeats renew the lease; a lease whose
+    deadline passes without a renewal is *expired* — the worker is presumed
+    dead or wedged — and :meth:`LeaseTable.reclaim` hands the cell back for
+    re-dispatch to a surviving worker (work stealing).  The table keeps
+    running stats (claims / renewals / expirations / reclaims) that the
+    supervisor journals and the chaos tests assert.
+"""
+
+from __future__ import annotations
+
+import os
+import time
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+from .errors import CampaignError
+
+#: Default lease duration (seconds) when the caller does not derive one from
+#: the cell budget.  Long enough for a real profiling pass, short enough that
+#: a SIGSTOPped worker is detected within a coffee-sip.
+DEFAULT_LEASE_DURATION = 30.0
+
+
+class LeaseError(CampaignError):
+    """A lease-protocol violation (double claim, renewing an unheld lease)."""
+
+
+# ----------------------------------------------------------------------
+# Clocks
+# ----------------------------------------------------------------------
+class MonotonicClock:
+    """Wall-clock-free production time source (``time.monotonic``)."""
+
+    def now(self) -> float:
+        return time.monotonic()
+
+
+class ManualClock:
+    """A clock that moves only when told to — the chaos tests' time source."""
+
+    def __init__(self, start: float = 0.0) -> None:
+        self._now = float(start)
+
+    def now(self) -> float:
+        return self._now
+
+    def advance(self, seconds: float) -> float:
+        if seconds < 0:
+            raise ValueError("clocks do not run backwards")
+        self._now += seconds
+        return self._now
+
+
+# ----------------------------------------------------------------------
+# Heartbeats
+# ----------------------------------------------------------------------
+class HeartbeatBoard:
+    """In-memory heartbeat channel: cell id -> (worker, last beat time)."""
+
+    def __init__(self, clock: Optional[MonotonicClock] = None) -> None:
+        self.clock = clock if clock is not None else MonotonicClock()
+        self._beats: Dict[str, Tuple[str, float]] = {}
+
+    def beat(self, cell_id: str, worker: str) -> None:
+        self._beats[cell_id] = (worker, self.clock.now())
+
+    def last_beat(self, cell_id: str) -> Optional[Tuple[str, float]]:
+        return self._beats.get(cell_id)
+
+    def clear(self, cell_id: str) -> None:
+        self._beats.pop(cell_id, None)
+
+
+def _cell_file_name(cell_id: str) -> str:
+    """A filesystem-safe file name for one cell's heartbeat file."""
+    return cell_id.replace("/", "__") + ".hb"
+
+
+class FileHeartbeatBoard(HeartbeatBoard):
+    """Heartbeats as files: workers in *other processes* publish liveness.
+
+    One file per cell under ``directory``; a beat rewrites the file with the
+    worker name and the publishing side's clock reading.  The supervisor
+    reads the payload back rather than trusting mtimes (mtime granularity
+    and clock domains differ across filesystems).  Beats are advisory
+    liveness traffic, not state — they are not fsynced, and a torn beat file
+    simply reads as "no beat yet".
+    """
+
+    def __init__(self, directory: str, clock: Optional[MonotonicClock] = None) -> None:
+        super().__init__(clock)
+        self.directory = directory
+        os.makedirs(directory, exist_ok=True)
+
+    def _path(self, cell_id: str) -> str:
+        return os.path.join(self.directory, _cell_file_name(cell_id))
+
+    def beat(self, cell_id: str, worker: str) -> None:
+        payload = f"{worker} {self.clock.now():.6f}\n"
+        try:
+            with open(self._path(cell_id), "w") as handle:
+                handle.write(payload)
+        except OSError:
+            # A failed beat is indistinguishable from a missed one; the
+            # lease protocol treats both as evidence of trouble.
+            pass
+
+    def last_beat(self, cell_id: str) -> Optional[Tuple[str, float]]:
+        try:
+            with open(self._path(cell_id), "r") as handle:
+                text = handle.read()
+        except OSError:
+            return None
+        parts = text.split()
+        if len(parts) != 2:
+            return None  # torn write: no usable beat
+        try:
+            return parts[0], float(parts[1])
+        except ValueError:
+            return None
+
+    def clear(self, cell_id: str) -> None:
+        try:
+            os.unlink(self._path(cell_id))
+        except OSError:
+            pass
+
+
+# ----------------------------------------------------------------------
+# Leases
+# ----------------------------------------------------------------------
+@dataclass
+class Lease:
+    """One worker's renewable claim on one cell."""
+
+    cell_id: str
+    owner: str
+    granted_at: float
+    duration: float
+    renewed_at: float = 0.0
+    renewals: int = 0
+
+    def __post_init__(self) -> None:
+        if self.duration <= 0:
+            raise ValueError("lease duration must be positive")
+        if not self.renewed_at:
+            self.renewed_at = self.granted_at
+
+    @property
+    def deadline(self) -> float:
+        return self.renewed_at + self.duration
+
+    def expired(self, now: float) -> bool:
+        return now > self.deadline
+
+
+@dataclass
+class LeaseStats:
+    """Lifetime lease-protocol counters for one supervisor run."""
+
+    claims: int = 0
+    renewals: int = 0
+    expirations: int = 0
+    reclaims: int = 0
+    releases: int = 0
+
+    def to_dict(self) -> Dict[str, int]:
+        return {
+            "claims": self.claims,
+            "renewals": self.renewals,
+            "expirations": self.expirations,
+            "reclaims": self.reclaims,
+            "releases": self.releases,
+        }
+
+
+class LeaseTable:
+    """The supervisor's authoritative map of who owns which cell until when."""
+
+    def __init__(
+        self,
+        duration: float = DEFAULT_LEASE_DURATION,
+        clock: Optional[MonotonicClock] = None,
+    ) -> None:
+        if duration <= 0:
+            raise ValueError("lease duration must be positive")
+        self.duration = duration
+        self.clock = clock if clock is not None else MonotonicClock()
+        self.stats = LeaseStats()
+        self._leases: Dict[str, Lease] = {}
+
+    # -- protocol -------------------------------------------------------
+    def claim(self, cell_id: str, owner: str) -> Lease:
+        """Grant ``owner`` a fresh lease on ``cell_id``.
+
+        An *expired* prior lease is silently superseded (that is the steal);
+        an unexpired one held by a different owner is a protocol violation —
+        two workers must never both believe they own a cell.
+        """
+        now = self.clock.now()
+        current = self._leases.get(cell_id)
+        if current is not None and not current.expired(now) and current.owner != owner:
+            raise LeaseError(
+                f"cell {cell_id!r} is leased to {current.owner!r} until "
+                f"{current.deadline:.3f} (now {now:.3f}); reclaim it first"
+            )
+        lease = Lease(cell_id=cell_id, owner=owner, granted_at=now, duration=self.duration)
+        self._leases[cell_id] = lease
+        self.stats.claims += 1
+        return lease
+
+    def renew(self, cell_id: str, owner: Optional[str] = None, at: Optional[float] = None) -> Lease:
+        """Extend a held lease (a heartbeat arrived).  Owner must match."""
+        lease = self._leases.get(cell_id)
+        if lease is None:
+            raise LeaseError(f"cell {cell_id!r} has no lease to renew")
+        if owner is not None and lease.owner != owner:
+            raise LeaseError(
+                f"cell {cell_id!r} is leased to {lease.owner!r}, not {owner!r}"
+            )
+        lease.renewed_at = self.clock.now() if at is None else max(lease.renewed_at, at)
+        lease.renewals += 1
+        self.stats.renewals += 1
+        return lease
+
+    def release(self, cell_id: str) -> None:
+        """Drop a lease on normal completion (ok or terminal failure)."""
+        if self._leases.pop(cell_id, None) is not None:
+            self.stats.releases += 1
+
+    def expired_leases(self) -> List[Lease]:
+        """Leases past their deadline right now (candidates for stealing)."""
+        now = self.clock.now()
+        stale = [lease for lease in self._leases.values() if lease.expired(now)]
+        return sorted(stale, key=lambda lease: lease.cell_id)
+
+    def reclaim(self, cell_id: str) -> Lease:
+        """Take an expired (or orphaned) lease back for re-dispatch."""
+        lease = self._leases.pop(cell_id, None)
+        if lease is None:
+            raise LeaseError(f"cell {cell_id!r} has no lease to reclaim")
+        if lease.expired(self.clock.now()):
+            self.stats.expirations += 1
+        self.stats.reclaims += 1
+        return lease
+
+    # -- inspection -----------------------------------------------------
+    def holder(self, cell_id: str) -> Optional[str]:
+        lease = self._leases.get(cell_id)
+        return lease.owner if lease is not None else None
+
+    def active(self) -> Dict[str, Lease]:
+        return dict(self._leases)
+
+    def __len__(self) -> int:
+        return len(self._leases)
+
+    def __contains__(self, cell_id: str) -> bool:
+        return cell_id in self._leases

@@ -93,6 +93,7 @@ class RunJournal:
         self.header = header
         self.torn_tail = False
         self._states: Dict[str, Dict[str, object]] = {}
+        self._events: List[Dict[str, object]] = []
         self._fh: Optional[IO[str]] = None
         #: Byte length of the valid prefix when a torn tail was detected;
         #: the file is truncated to this before the first new append, so a
@@ -112,7 +113,12 @@ class RunJournal:
         cells: Sequence[str],
     ) -> "RunJournal":
         """Start a new journal; refuses to overwrite an existing run id."""
-        os.makedirs(out_dir, exist_ok=True)
+        from .atomic import ensure_durable_directory
+
+        # A freshly created out_dir must itself survive a crash: every new
+        # directory entry on the path is fsynced in its parent, or the
+        # journal could vanish with the directory after power loss.
+        ensure_durable_directory(out_dir)
         path = journal_path(out_dir, run_id)
         if os.path.exists(path):
             raise JournalError(f"run id {run_id!r} already exists at {path}")
@@ -164,6 +170,8 @@ class RunJournal:
                 raise JournalError(f"{path}: corrupt record at line {index}") from None
             if record.get("type") == "cell" and "id" in record:
                 journal._states[str(record["id"])] = record
+            elif record.get("type") == "event":
+                journal._events.append(record)
         return journal
 
     @classmethod
@@ -180,8 +188,40 @@ class RunJournal:
     # ------------------------------------------------------------------
     # Appending
     # ------------------------------------------------------------------
+    def _verify_header_on_disk(self) -> None:
+        """Refuse to append if the on-disk header is no longer ours.
+
+        A resume replays the journal, then appends; if another process (or a
+        stray editor) rewrote line 1 in between, appending would attach our
+        cell records to a *different* run's identity — silent corruption.
+        Checked once per append-handle open, i.e. exactly at the
+        replay→append transition the race targets.
+        """
+        try:
+            with open(self.path, "r") as handle:
+                first = handle.readline()
+        except OSError as exc:
+            raise JournalError(f"cannot re-read journal header {self.path}: {exc}") from exc
+        try:
+            on_disk = json.loads(first)
+        except json.JSONDecodeError as exc:
+            raise JournalError(
+                f"{self.path}: header was rewritten underneath an active resume and is "
+                f"no longer valid JSON ({exc}); refusing to append — restore the journal "
+                f"from a backup or start a new run"
+            ) from exc
+        for field in ("run_id", "fingerprint"):
+            if on_disk.get(field) != self.header.get(field):
+                raise JournalError(
+                    f"{self.path}: header {field} changed underneath an active resume "
+                    f"(journal opened with {self.header.get(field)!r}, disk now has "
+                    f"{on_disk.get(field)!r}); refusing to append to a journal that no "
+                    f"longer describes this run"
+                )
+
     def _handle(self) -> IO[str]:
         if self._fh is None:
+            self._verify_header_on_disk()
             if self._truncate_to is not None:
                 os.truncate(self.path, self._truncate_to)
                 self._truncate_to = None
@@ -218,6 +258,26 @@ class RunJournal:
             os.fsync(handle.fileno())
         self._states[cell_id] = entry
         return entry
+
+    def note(self, event: str, fsync: bool = False, **fields: object) -> Dict[str, object]:
+        """Append a supervisor *event* record (lease steal, pool rebuild, ...).
+
+        Events are observability, not cell state: replay ignores every
+        record whose ``type`` is not ``cell``, so notes never change what a
+        resume restores or re-executes.  They are flushed (ordering with the
+        surrounding cell commits is preserved) but not fsynced by default.
+        """
+        entry: Dict[str, object] = {"type": "event", "event": event, **fields}
+        handle = self._handle()
+        handle.write(json.dumps(entry, sort_keys=True) + "\n")
+        handle.flush()
+        if fsync:
+            os.fsync(handle.fileno())
+        return entry
+
+    def events(self) -> List[Dict[str, object]]:
+        """Replayed event records, in append order (never affects resume)."""
+        return list(self._events)
 
     def mark_pending(self, cell_ids: Iterable[str]) -> None:
         """Batch-record ``pending`` for cells about to execute (single fsync)."""

@@ -13,7 +13,7 @@ from __future__ import annotations
 
 import random
 import zlib
-from typing import Iterator
+from typing import Iterator, Optional
 
 #: Default schedule parameters used by :class:`~repro.core.session.ParallelSuiteRunner`.
 DEFAULT_BACKOFF_BASE = 0.05
@@ -49,7 +49,24 @@ def backoff_delays(
     base: float = DEFAULT_BACKOFF_BASE,
     cap: float = DEFAULT_BACKOFF_CAP,
     seed: object = 0,
+    deadline: Optional[float] = None,
 ) -> Iterator[float]:
-    """The full schedule for ``attempts`` retries of one cell."""
+    """The full schedule for ``attempts`` retries of one cell.
+
+    ``deadline`` caps the *total elapsed backoff* across the whole schedule:
+    once the cumulative delay reaches it, the schedule ends — retrying past
+    a cell's wall-clock budget would just trade a transient failure for a
+    timeout.  The delay that would cross the deadline is clipped to the
+    remaining budget (a shortened retry beats no retry), and later delays
+    are dropped.  ``deadline=None`` preserves the unbounded schedule.
+    """
+    total = 0.0
     for attempt in range(attempts):
-        yield backoff_delay(attempt, base=base, cap=cap, seed=seed)
+        delay = backoff_delay(attempt, base=base, cap=cap, seed=seed)
+        if deadline is not None:
+            remaining = deadline - total
+            if remaining <= 0:
+                return
+            delay = min(delay, remaining)
+        total += delay
+        yield delay

@@ -1,0 +1,751 @@
+"""Fault-tolerant campaign service: a supervisor over a pool of workers.
+
+:func:`~repro.runtime.campaign.run_campaign` executes a grid in-process and
+survives *its own* crash via the journal.  This module adds the layer the
+journal alone cannot provide: surviving **worker** failure mid-campaign.  A
+:class:`CampaignSupervisor` owns the grid and dispatches cells to a pool of
+worker processes under a lease protocol:
+
+* every dispatched cell carries a **lease** (:mod:`repro.runtime.heartbeat`)
+  that the worker must keep renewing by heartbeating; a worker that is
+  SIGKILLed, wedged, or silently dead stops renewing, the lease expires, and
+  the supervisor *steals the cell back* and re-dispatches it to a surviving
+  worker;
+* a **dispatch epoch** per cell makes redelivery exactly-once: if the
+  original worker was merely slow and its result arrives after the steal,
+  the stale epoch is discarded — each cell reaches exactly one terminal
+  journal state;
+* worker death that breaks the whole ``ProcessPoolExecutor`` (POSIX kills
+  any sibling futures with ``BrokenProcessPool``) triggers a bounded **pool
+  rebuild**; past the rebuild budget the supervisor **degrades to serial**
+  execution in its own process — a collapsed pool costs throughput, never
+  results;
+* failures are routed through the existing taxonomy
+  (:func:`~repro.runtime.errors.classify_failure`): transient ones
+  (:class:`~repro.runtime.errors.WorkerCrashed`,
+  :class:`~repro.runtime.errors.LeaseExpired`, timeouts) re-dispatch behind
+  the deterministic backoff schedule (:func:`~repro.runtime.retry.backoff_delays`,
+  elapsed-capped); deterministic ones fail fast with the diagnostic
+  preserved;
+* every terminal state goes through the same
+  :class:`~repro.runtime.journal.RunJournal` as the in-process path, plus
+  ``note`` event records (dispatches, steals, rebuilds, degradation) so a
+  post-mortem can replay the supervisor's decisions; supervisor SIGKILL is
+  therefore just another resume (:func:`resume_service_campaign`).
+
+All time flows through an injectable clock and all waiting through an
+injectable ``sleep``, so the chaos harness (:mod:`repro.testing.faults`)
+scripts kills, stalls and races deterministically instead of racing the
+wall clock.
+"""
+
+from __future__ import annotations
+
+import os
+import threading
+import time
+from collections import OrderedDict
+from concurrent.futures import ProcessPoolExecutor, process
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from ..core.experiment import ExperimentResult
+from ..core.metrics import get_metrics
+from ..core.session import SuiteCell, _run_cell, derive_cell_timeout
+from ..uarch.config import MachineConfig
+from .campaign import (
+    CampaignReport,
+    CampaignSpec,
+    _verify_batch_sidecar,
+    _write_batch_sidecar,
+    build_report,
+    deliver_sigterm_as_interrupt,
+)
+from .errors import (
+    DETERMINISTIC,
+    LeaseExpired,
+    WorkerCrashed,
+    classify_failure,
+    is_timeout,
+)
+from .heartbeat import (
+    DEFAULT_LEASE_DURATION,
+    FileHeartbeatBoard,
+    HeartbeatBoard,
+    LeaseTable,
+    MonotonicClock,
+)
+from .journal import OK, RunJournal, new_run_id
+from .retry import backoff_delays
+from .store import ResultStore, cell_store_key
+
+#: Supervisor poll cadence (seconds): how often futures, heartbeats and
+#: lease deadlines are re-examined.  Chaos tests replace ``_sleep`` so this
+#: is wall-clock cost only, never a correctness parameter.
+DEFAULT_POLL_INTERVAL = 0.05
+
+#: Workers heartbeat at a quarter of the lease duration: four consecutive
+#: missed beats before the supervisor presumes death.
+BEAT_FRACTION = 0.25
+
+
+# ----------------------------------------------------------------------
+# Worker side
+# ----------------------------------------------------------------------
+def _beat_loop(board: HeartbeatBoard, cell_id: str, worker: str, interval: float, stop: threading.Event) -> None:
+    while not stop.wait(interval):
+        board.beat(cell_id, worker)
+
+
+def _service_cell_worker(
+    cell: SuiteCell,
+    machine: Optional[MachineConfig],
+    max_instructions: int,
+    threshold: float,
+    scale: float,
+    heartbeat_dir: Optional[str],
+    worker_tag: str,
+    beat_interval: float,
+    store_root: Optional[str],
+    store_key: Optional[str],
+) -> Tuple[str, object]:
+    """Top-level (picklable) pool worker: heartbeat + L2 check + run one cell.
+
+    A daemon thread publishes liveness to the file heartbeat board for the
+    duration of the cell; the main thread consults the shared result store
+    (the L2 under this process's :class:`~repro.core.session.SimSession` L1)
+    before simulating, and publishes fresh results back.  Returns a tagged
+    pair so the supervisor can count store traffic: ``("store", payload)``
+    for an L2 hit, ``("ran", ExperimentResult)`` for fresh work.
+    """
+    stop = threading.Event()
+    board: Optional[HeartbeatBoard] = None
+    if heartbeat_dir:
+        board = FileHeartbeatBoard(heartbeat_dir)
+        board.beat(cell.cell_id, worker_tag)
+        beater = threading.Thread(
+            target=_beat_loop,
+            args=(board, cell.cell_id, worker_tag, beat_interval, stop),
+            daemon=True,
+        )
+        beater.start()
+    try:
+        store = ResultStore(store_root, writer=worker_tag) if store_root else None
+        if store is not None and store_key:
+            payload = store.get(store_key)
+            if payload is not None:
+                return ("store", payload)
+        result = _run_cell(cell, machine, max_instructions, threshold, scale)
+        if store is not None and store_key:
+            try:
+                store.put(store_key, result.to_dict(), cell_id=cell.cell_id)
+            except OSError:
+                pass  # the store accelerates; it never fails a cell
+        return ("ran", result)
+    finally:
+        stop.set()
+
+
+# ----------------------------------------------------------------------
+# Supervisor side
+# ----------------------------------------------------------------------
+@dataclass
+class _Pending:
+    """One cell waiting for (re-)dispatch."""
+
+    cell: SuiteCell
+    attempts: int = 0
+    not_before: float = 0.0
+    #: Remaining backoff schedule (filled on first transient failure).
+    schedule: Optional[List[float]] = None
+    first_error: Optional[str] = None
+
+
+@dataclass
+class _Dispatch:
+    """One in-flight (cell, future) pairing under a lease."""
+
+    cell: SuiteCell
+    future: object
+    epoch: int
+    worker_tag: str
+    started: float
+    attempts: int
+
+
+@dataclass
+class ServiceStats:
+    """Supervisor-side counters, journaled at shutdown and asserted by chaos tests."""
+
+    dispatched: int = 0
+    completed: int = 0
+    store_hits: int = 0
+    steals: int = 0
+    stale_results_discarded: int = 0
+    pool_rebuilds: int = 0
+    degraded_serial: bool = False
+    lease: Dict[str, int] = field(default_factory=dict)
+
+    def to_dict(self) -> Dict[str, object]:
+        return {
+            "dispatched": self.dispatched,
+            "completed": self.completed,
+            "store_hits": self.store_hits,
+            "steals": self.steals,
+            "stale_results_discarded": self.stale_results_discarded,
+            "pool_rebuilds": self.pool_rebuilds,
+            "degraded_serial": self.degraded_serial,
+            "lease": dict(self.lease),
+        }
+
+
+class CampaignSupervisor:
+    """Supervise one campaign over a pool of leased, heartbeating workers."""
+
+    #: Executor factory, ``callable(max_workers=n)``; the chaos harness
+    #: substitutes a scripted executor here.
+    executor_factory = ProcessPoolExecutor
+
+    #: Injectable wait primitive — the chaos harness replaces this with a
+    #: function that advances a :class:`ManualClock` and emits scripted beats.
+    _sleep = staticmethod(time.sleep)
+
+    def __init__(
+        self,
+        spec: CampaignSpec,
+        out_dir: str,
+        workers: Optional[int] = None,
+        store: Optional[ResultStore] = None,
+        lease_duration: float = DEFAULT_LEASE_DURATION,
+        machine: Optional[MachineConfig] = None,
+        retries: int = 2,
+        cell_timeout: Optional[float] = None,
+        poll_interval: float = DEFAULT_POLL_INTERVAL,
+        max_pool_rebuilds: int = 2,
+        clock: Optional[MonotonicClock] = None,
+        heartbeats: Optional[HeartbeatBoard] = None,
+        executor_factory=None,
+        use_heartbeat_files: bool = True,
+    ) -> None:
+        self.spec = spec
+        self.out_dir = out_dir
+        self.workers = workers if workers is not None else max(1, spec.jobs)
+        self.store = store
+        self.machine = machine if machine is not None else spec.build_machine()
+        self.retries = max(0, retries)
+        self.cell_timeout = (
+            derive_cell_timeout(spec.max_instructions) if cell_timeout is None else cell_timeout
+        )
+        self.retry_deadline = self.cell_timeout
+        self.poll_interval = poll_interval
+        self.max_pool_rebuilds = max(0, max_pool_rebuilds)
+        self.clock = clock if clock is not None else MonotonicClock()
+        self.lease_duration = lease_duration
+        self.leases = LeaseTable(duration=lease_duration, clock=self.clock)
+        self.stats = ServiceStats()
+        if executor_factory is not None:
+            self.executor_factory = executor_factory
+        self._heartbeats = heartbeats
+        self._use_heartbeat_files = use_heartbeat_files
+        self._heartbeat_dir: Optional[str] = None
+        self._epochs: Dict[str, int] = {}
+        self._abandoned: List[_Dispatch] = []
+        self._dispatch_counter = 0
+
+    # ------------------------------------------------------------------
+    # Entry points
+    # ------------------------------------------------------------------
+    def run(self, run_id: Optional[str] = None) -> CampaignReport:
+        """Execute a fresh supervised campaign (new journal under ``out_dir``)."""
+        run_id = run_id if run_id is not None else new_run_id()
+        journal = RunJournal.create(
+            self.out_dir, run_id, self.spec.config_dict(), self.spec.cell_ids()
+        )
+        digests = _write_batch_sidecar(self.out_dir, run_id, self.spec)
+        report = self._supervise(journal, self.spec.cells(), restored={}, resumed=False)
+        report.batch_digests = digests
+        return report
+
+    def resume(self, run_id: str) -> CampaignReport:
+        """Resume a supervised campaign after supervisor death (SIGKILL, crash).
+
+        The journal is authoritative: ``ok`` cells are restored from their
+        stored payloads, every other cell re-enters the dispatch queue.  The
+        spec this supervisor was built with is verified against the header
+        fingerprint, so a drifted grid is refused, not merged.
+        """
+        journal = RunJournal.find(self.out_dir, run_id)
+        journal.verify_config(self.spec.config_dict())
+        restored: Dict[str, ExperimentResult] = {}
+        for cell_id, entry in journal.states().items():
+            if entry.get("status") == OK and entry.get("result"):
+                restored[cell_id] = ExperimentResult.from_dict(entry["result"])
+        pending_ids = set(journal.pending_cells())
+        cells = [cell for cell in self.spec.cells() if cell.cell_id in pending_ids]
+        digests = _verify_batch_sidecar(self.out_dir, run_id, self.spec)
+        report = self._supervise(journal, cells, restored=restored, resumed=True)
+        report.batch_digests = digests
+        return report
+
+    # ------------------------------------------------------------------
+    # Store addressing
+    # ------------------------------------------------------------------
+    def store_key(self, cell: SuiteCell) -> str:
+        return cell_store_key(
+            cell.cell_id,
+            self.machine,
+            self.spec.max_instructions,
+            self.spec.threshold,
+            self.spec.scale,
+        )
+
+    # ------------------------------------------------------------------
+    # Core supervision loop
+    # ------------------------------------------------------------------
+    def _supervise(
+        self,
+        journal: RunJournal,
+        cells: Sequence[SuiteCell],
+        restored: Dict[str, ExperimentResult],
+        resumed: bool,
+    ) -> CampaignReport:
+        metrics = get_metrics()
+        self._heartbeat_dir = (
+            os.path.join(self.out_dir, f"{journal.run_id}.heartbeats")
+            if self._use_heartbeat_files
+            else None
+        )
+        board = self._heartbeats
+        if board is None and self._heartbeat_dir is not None:
+            board = FileHeartbeatBoard(self._heartbeat_dir, clock=self.clock)
+        journal.note(
+            "service_start",
+            workers=self.workers,
+            lease_duration=self.lease_duration,
+            resumed=resumed,
+            cells=len(cells),
+        )
+        pending: "OrderedDict[str, _Pending]" = OrderedDict(
+            (cell.cell_id, _Pending(cell=cell)) for cell in cells
+        )
+        inflight: Dict[str, _Dispatch] = {}
+        fresh: Dict[str, ExperimentResult] = {}
+        pool = None
+        rebuilds = 0
+        used_processes = False
+
+        # Store pre-pass: hit cells never enter the queue at all.
+        if self.store is not None:
+            for cell_id in list(pending):
+                payload = self.store.get(self.store_key(pending[cell_id].cell))
+                if payload is None:
+                    continue
+                try:
+                    result = ExperimentResult.from_dict(payload)
+                except (KeyError, TypeError, ValueError):
+                    continue
+                entry = pending.pop(cell_id)
+                fresh[cell_id] = result
+                self.stats.store_hits += 1
+                journal.record(entry.cell.cell_id, "ok", attempts=0, elapsed_s=0.0, result=payload)
+
+        serial = self.workers <= 1
+        try:
+            with deliver_sigterm_as_interrupt():
+                while pending or inflight:
+                    if not serial and pool is None:
+                        try:
+                            pool = self.executor_factory(max_workers=self.workers)
+                            used_processes = True
+                        except (OSError, RuntimeError) as exc:
+                            journal.note("pool_unavailable", error=repr(exc))
+                            serial = True
+                    if serial:
+                        self._drain_serial(journal, pending, fresh)
+                        break
+                    try:
+                        # Both submitting into a broken pool and harvesting a
+                        # dead worker's future raise BrokenProcessPool; the
+                        # kill can land between polls, so dispatch needs the
+                        # same collapse handling as the harvest.
+                        self._dispatch_ready(pool, board, journal, pending, inflight)
+                        self._poll_inflight(journal, pending, inflight, fresh)
+                    except process.BrokenProcessPool as exc:
+                        rebuilds += 1
+                        self.stats.pool_rebuilds += 1
+                        metrics.inc("service.pool_rebuilds")
+                        self._reclaim_all(journal, pending, inflight, exc)
+                        self._abandon_pool(pool)
+                        pool = None
+                        if rebuilds > self.max_pool_rebuilds:
+                            journal.note("degrade_serial", rebuilds=rebuilds)
+                            self.stats.degraded_serial = True
+                            metrics.inc("service.degraded_serial")
+                            serial = True
+                        continue
+                    self._renew_from_heartbeats(board, inflight)
+                    self._steal_expired(journal, pending, inflight)
+                    self._reap_abandoned(journal)
+                    if pending or inflight:
+                        self._sleep(self.poll_interval)
+        except KeyboardInterrupt:
+            journal.note("interrupted", inflight=len(inflight), pending=len(pending))
+            journal.flush()
+            journal.close()
+            if pool is not None:
+                self._abandon_pool(pool)
+            raise
+        finally:
+            if board is not None:
+                for cell_id in list(self._epochs):
+                    board.clear(cell_id)
+
+        if pool is not None:
+            pool.shutdown(wait=True)
+        self.stats.lease = self.leases.stats.to_dict()
+        journal.note("service_done", **self.stats.to_dict())
+        report = build_report(
+            self.spec, journal, restored, fresh, resumed=resumed,
+            executed=len(cells), used_processes=used_processes,
+            store_hits=self.stats.store_hits,
+        )
+        journal.close()
+        return report
+
+    # ------------------------------------------------------------------
+    # Loop pieces
+    # ------------------------------------------------------------------
+    @staticmethod
+    def _abandon_pool(pool) -> None:
+        """Tear down an executor we are done with, without blocking on corpses.
+
+        A SIGKILLed worker can die holding the shared call-queue lock,
+        leaving its siblings deadlocked inside ``call_queue.get``; a plain
+        ``shutdown`` would then hang (or leak the deadlocked processes past
+        interpreter exit). The pool is already broken or being discarded, so
+        no result can be lost: kill the survivors first, then shut down
+        without waiting.
+        """
+        for proc in list((getattr(pool, "_processes", None) or {}).values()):
+            try:
+                proc.kill()
+            except (AttributeError, OSError):
+                pass
+        try:
+            pool.shutdown(wait=False, cancel_futures=True)
+        except TypeError:  # executors without cancel_futures
+            pool.shutdown(wait=False)
+
+    def _next_tag(self) -> str:
+        self._dispatch_counter += 1
+        return f"d{self._dispatch_counter}"
+
+    def _dispatch_ready(self, pool, board, journal, pending, inflight) -> None:
+        """Submit every dispatchable pending cell to a free worker slot."""
+        now = self.clock.now()
+        for cell_id in list(pending):
+            if len(inflight) >= self.workers:
+                return
+            entry = pending[cell_id]
+            if entry.not_before > now:
+                continue
+            tag = self._next_tag()
+            epoch = self._epochs.get(cell_id, 0) + 1
+            self._epochs[cell_id] = epoch
+            self.leases.claim(cell_id, owner=tag)
+            if board is not None:
+                board.beat(cell_id, tag)  # dispatch counts as the first beat
+            try:
+                future = pool.submit(
+                    _service_cell_worker,
+                    entry.cell,
+                    self.machine,
+                    self.spec.max_instructions,
+                    self.spec.threshold,
+                    self.spec.scale,
+                    self._heartbeat_dir,
+                    tag,
+                    self.lease_duration * BEAT_FRACTION,
+                    self.store.root if self.store is not None else None,
+                    self.store_key(entry.cell) if self.store is not None else None,
+                )
+            except Exception:
+                # The cell never left pending; free its lease so the
+                # re-dispatch after pool recovery can claim it again.
+                self.leases.release(cell_id)
+                raise
+            del pending[cell_id]
+            inflight[cell_id] = _Dispatch(
+                cell=entry.cell, future=future, epoch=epoch, worker_tag=tag,
+                started=now, attempts=entry.attempts + 1,
+            )
+            # Carry the retry context through the dispatch record.
+            inflight[cell_id].pending = entry  # type: ignore[attr-defined]
+            self.stats.dispatched += 1
+            get_metrics().inc("service.dispatches")
+            journal.note("dispatch", cell=cell_id, worker=tag, epoch=epoch, attempt=entry.attempts + 1)
+
+    def _poll_inflight(self, journal, pending, inflight, fresh) -> None:
+        """Harvest completed futures; raise ``BrokenProcessPool`` upward."""
+        for cell_id in list(inflight):
+            dispatch = inflight[cell_id]
+            future = dispatch.future
+            if not future.done():
+                continue
+            del inflight[cell_id]
+            if self._epochs.get(cell_id) != dispatch.epoch:
+                # A steal already re-dispatched this cell; this result is
+                # from a superseded epoch and must not double-commit.
+                self._discard_stale(journal, dispatch)
+                continue
+            try:
+                outcome = future.result()
+            except process.BrokenProcessPool:
+                inflight[cell_id] = dispatch  # reclaimed by the rebuild path
+                raise
+            except KeyboardInterrupt:
+                raise
+            except Exception as exc:
+                self.leases.release(cell_id)
+                self._handle_failure(journal, pending, dispatch, exc)
+                continue
+            self.leases.release(cell_id)
+            self._commit_outcome(journal, fresh, dispatch, outcome, pending=pending)
+
+    def _commit_outcome(self, journal, fresh, dispatch: _Dispatch, outcome, pending=None) -> None:
+        cell = dispatch.cell
+        if isinstance(outcome, tuple) and len(outcome) == 2:
+            origin, value = outcome
+        else:  # plain result (chaos executors may skip the worker wrapper)
+            origin, value = "ran", outcome
+        if origin == "store":
+            try:
+                result = ExperimentResult.from_dict(value)
+            except (KeyError, TypeError, ValueError):
+                # Corrupt hit surfaced by a worker: treat as transient miss
+                # and re-run rather than committing garbage.
+                self._handle_failure(
+                    journal, pending if pending is not None else {}, dispatch,
+                    WorkerCrashed("store payload undecodable"),
+                )
+                return
+            self.stats.store_hits += 1
+        else:
+            result = value
+        payload = result.to_dict() if hasattr(result, "to_dict") else None
+        elapsed = self.clock.now() - dispatch.started
+        journal.record(cell.cell_id, "ok", attempts=dispatch.attempts, elapsed_s=elapsed, result=payload)
+        fresh[cell.cell_id] = result
+        self.stats.completed += 1
+        if self.store is not None and origin == "ran" and payload is not None:
+            try:
+                self.store.put(self.store_key(cell), payload, cell_id=cell.cell_id)
+            except OSError:
+                pass
+
+    def _handle_failure(self, journal, pending, dispatch: _Dispatch, exc: Exception) -> None:
+        """Route one failed attempt through the taxonomy: retry or commit."""
+        cell = dispatch.cell
+        kind = classify_failure(exc)
+        prior: _Pending = getattr(dispatch, "pending", None) or _Pending(cell=cell)
+        if kind == DETERMINISTIC:
+            self._commit_failure(journal, dispatch, f"{exc!r}", kind, timed_out=is_timeout(exc))
+            return
+        if prior.schedule is None:
+            prior.schedule = list(
+                backoff_delays(
+                    self.retries,
+                    seed=(cell.workload, cell.config, cell.recovery),
+                    deadline=self.retry_deadline,
+                )
+            )
+            prior.first_error = f"{exc!r}"
+        if dispatch.attempts > len(prior.schedule):
+            message = (
+                f"first: {prior.first_error}; retry: {exc!r}"
+                if prior.first_error and prior.first_error != f"{exc!r}"
+                else f"{exc!r}"
+            )
+            self._commit_failure(journal, dispatch, message, kind, timed_out=is_timeout(exc))
+            return
+        delay = prior.schedule[dispatch.attempts - 1]
+        prior.attempts = dispatch.attempts
+        prior.not_before = self.clock.now() + delay
+        pending[cell.cell_id] = prior
+        get_metrics().inc("service.redispatches")
+        journal.note(
+            "redispatch_scheduled", cell=cell.cell_id, attempt=dispatch.attempts,
+            delay_s=round(delay, 6), error=repr(exc),
+        )
+
+    def _commit_failure(self, journal, dispatch: _Dispatch, message, kind, timed_out=False) -> None:
+        status = "timeout" if timed_out else "failed"
+        elapsed = self.clock.now() - dispatch.started
+        journal.record(
+            dispatch.cell.cell_id, status, attempts=dispatch.attempts,
+            elapsed_s=elapsed, error=message, error_kind=kind,
+        )
+        self.stats.completed += 1
+
+    def _renew_from_heartbeats(self, board, inflight) -> None:
+        if board is None:
+            return
+        for cell_id, dispatch in inflight.items():
+            beat = board.last_beat(cell_id)
+            if beat is None:
+                continue
+            worker, at = beat
+            lease = self.leases.active().get(cell_id)
+            if lease is None or worker != lease.owner:
+                continue  # a superseded worker's beat never renews the new lease
+            if at > lease.renewed_at:
+                self.leases.renew(cell_id, owner=worker, at=at)
+
+    def _steal_expired(self, journal, pending, inflight) -> None:
+        """Reclaim every expired lease and requeue its cell (work stealing).
+
+        Also enforces the hard per-cell wall-clock cap: a worker that keeps
+        heartbeating while livelocked still loses its cell at
+        ``cell_timeout``.
+        """
+        now = self.clock.now()
+        expired = {lease.cell_id for lease in self.leases.expired_leases()}
+        for cell_id in list(inflight):
+            dispatch = inflight[cell_id]
+            timed_out = now - dispatch.started > self.cell_timeout
+            if cell_id not in expired and not timed_out:
+                continue
+            self.leases.reclaim(cell_id)
+            del inflight[cell_id]
+            self._epochs[cell_id] = self._epochs.get(cell_id, 0) + 1  # invalidate late results
+            self._abandoned.append(dispatch)
+            self.stats.steals += 1
+            get_metrics().inc("service.steals")
+            journal.note(
+                "lease_stolen", cell=cell_id, worker=dispatch.worker_tag,
+                epoch=dispatch.epoch, timed_out=timed_out,
+            )
+            error: Exception = (
+                TimeoutError(f"cell exceeded {self.cell_timeout:.1f}s wall-clock cap")
+                if timed_out
+                else LeaseExpired(
+                    f"worker {dispatch.worker_tag!r} stopped heartbeating on {cell_id!r}"
+                )
+            )
+            self._handle_failure(journal, pending, dispatch, error)
+
+    def _reclaim_all(self, journal, pending, inflight, cause: Exception) -> None:
+        """Pool collapse: every in-flight lease is reclaimed and requeued."""
+        journal.note("pool_broken", inflight=len(inflight), error=repr(cause))
+        for cell_id in list(inflight):
+            dispatch = inflight.pop(cell_id)
+            if cell_id in self.leases:
+                self.leases.reclaim(cell_id)
+            self._epochs[cell_id] = self._epochs.get(cell_id, 0) + 1
+            self._handle_failure(
+                journal, pending, dispatch,
+                WorkerCrashed(f"pool broken while running {cell_id!r}: {cause!r}"),
+            )
+
+    def _discard_stale(self, journal, dispatch: _Dispatch) -> None:
+        self.stats.stale_results_discarded += 1
+        get_metrics().inc("service.stale_discards")
+        journal.note(
+            "stale_result_discarded", cell=dispatch.cell.cell_id,
+            worker=dispatch.worker_tag, epoch=dispatch.epoch,
+        )
+
+    def _reap_abandoned(self, journal) -> None:
+        """Drain completed futures from stolen dispatches (discard-only)."""
+        still_open: List[_Dispatch] = []
+        for dispatch in self._abandoned:
+            try:
+                done = dispatch.future.done()
+            except Exception:
+                done = True
+            if done:
+                self._discard_stale(journal, dispatch)
+            else:
+                still_open.append(dispatch)
+        self._abandoned = still_open
+
+    # ------------------------------------------------------------------
+    # Serial degradation
+    # ------------------------------------------------------------------
+    def _drain_serial(self, journal, pending, fresh) -> None:
+        """Run every remaining cell in the supervisor process (pool collapsed).
+
+        Cells requeued by transient failures re-enter ``pending`` and are
+        picked up by the same loop, so serial mode still honours the retry
+        schedule before reaching a terminal state for every cell.
+        """
+        while pending:
+            cell_id = next(iter(pending))
+            entry = pending.pop(cell_id)
+            wait = entry.not_before - self.clock.now()
+            if wait > 0:
+                self._sleep(wait)
+            started = self.clock.now()
+            dispatch = _Dispatch(
+                cell=entry.cell, future=None, epoch=self._epochs.get(cell_id, 0) + 1,
+                worker_tag="serial", started=started, attempts=entry.attempts + 1,
+            )
+            dispatch.pending = entry  # type: ignore[attr-defined]
+            try:
+                if self.store is not None:
+                    payload = self.store.get(self.store_key(entry.cell))
+                    if payload is not None:
+                        self._commit_outcome(journal, fresh, dispatch, ("store", payload), pending=pending)
+                        continue
+                result = _run_cell(
+                    entry.cell, self.machine, self.spec.max_instructions,
+                    self.spec.threshold, self.spec.scale,
+                )
+            except KeyboardInterrupt:
+                pending[cell_id] = entry  # still pending for the resume
+                raise
+            except Exception as exc:
+                self._handle_failure(journal, pending, dispatch, exc)
+                continue
+            self._commit_outcome(journal, fresh, dispatch, ("ran", result))
+
+
+# ----------------------------------------------------------------------
+# Functional entry points (mirror run_campaign / resume_campaign)
+# ----------------------------------------------------------------------
+def run_service_campaign(
+    spec: CampaignSpec,
+    out_dir: str,
+    run_id: Optional[str] = None,
+    workers: Optional[int] = None,
+    store: Optional[ResultStore] = None,
+    **kwargs,
+) -> CampaignReport:
+    """Run one campaign under supervision (leases, stealing, shared store)."""
+    supervisor = CampaignSupervisor(spec, out_dir, workers=workers, store=store, **kwargs)
+    return supervisor.run(run_id=run_id)
+
+
+def resume_service_campaign(
+    out_dir: str,
+    run_id: str,
+    spec: Optional[CampaignSpec] = None,
+    workers: Optional[int] = None,
+    store: Optional[ResultStore] = None,
+    **kwargs,
+) -> CampaignReport:
+    """Resume a supervised campaign after supervisor death or interrupt.
+
+    With no ``spec`` the grid is reconstructed from the journal header, so a
+    restarted service needs nothing but the run id; a caller-supplied spec is
+    verified against the header fingerprint (and rejected on drift) exactly
+    like the in-process resume path.
+    """
+    if spec is None:
+        journal = RunJournal.find(out_dir, run_id)
+        try:
+            spec = CampaignSpec.from_config(journal.config)
+        finally:
+            journal.close()
+    supervisor = CampaignSupervisor(spec, out_dir, workers=workers, store=store, **kwargs)
+    return supervisor.resume(run_id)

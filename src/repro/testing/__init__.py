@@ -16,10 +16,20 @@ Four layers, composed by :func:`run_fuzz` (the engine behind ``repro fuzz``):
 
 from .faults import (
     BREAK_POOL,
+    CHAOS_CRASH,
+    CHAOS_INTERRUPT,
+    CHAOS_KILL,
+    CHAOS_OK,
+    CHAOS_SLOW,
+    CHAOS_STALL,
+    CHAOS_TORN_STORE,
     INTERRUPT,
     POISON,
     SIM_FAULT,
     TIMEOUT,
+    ChaosExecutor,
+    ChaosHarness,
+    ChaosPolicy,
     FaultInjector,
     FaultPlan,
     FaultyExecutor,
@@ -44,6 +54,16 @@ from .shrinker import delete_pcs, shrink_case
 
 __all__ = [
     "BREAK_POOL",
+    "CHAOS_CRASH",
+    "CHAOS_INTERRUPT",
+    "CHAOS_KILL",
+    "CHAOS_OK",
+    "CHAOS_SLOW",
+    "CHAOS_STALL",
+    "CHAOS_TORN_STORE",
+    "ChaosExecutor",
+    "ChaosHarness",
+    "ChaosPolicy",
     "INTERRUPT",
     "POISON",
     "SIM_FAULT",

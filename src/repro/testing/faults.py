@@ -228,6 +228,199 @@ def exercise_suite_recovery(
 
 
 # ----------------------------------------------------------------------
+# Chaos injection for the campaign service (repro.runtime.service)
+# ----------------------------------------------------------------------
+#: Chaos actions a dispatch slot can carry.  Slots are *dispatch* order
+#: across the whole supervised run (re-dispatches get new slots), so a
+#: script can say "the 3rd dispatch is SIGKILLed, its retry succeeds".
+CHAOS_OK = "ok"
+CHAOS_KILL = "kill"            # worker SIGKILL: the pool breaks (POSIX semantics)
+CHAOS_CRASH = "crash"          # single worker death without pool collapse
+CHAOS_STALL = "stall"          # wedged worker: never completes, never beats
+CHAOS_SLOW = "slow"            # completes after N ticks, heartbeating throughout
+CHAOS_TORN_STORE = "torn-store"  # tears its store entry mid-write, then dies
+CHAOS_INTERRUPT = "chaos-interrupt"  # supervisor-side interrupt (models its death)
+
+
+@dataclass(frozen=True)
+class ChaosPolicy:
+    """A deterministic script of service-layer failures, by dispatch slot.
+
+    Extends the :class:`FaultPlan` idea one layer up: where a ``FaultPlan``
+    scripts *future results* inside one ``ParallelSuiteRunner`` pool, a
+    ``ChaosPolicy`` scripts *worker lifecycle* events against the campaign
+    supervisor — kills that break the pool, stalls that force lease expiry,
+    torn store writes, slow cells that must keep their lease via heartbeats.
+    Unscripted slots behave (``ok``).
+    """
+
+    script: Dict[int, str] = field(default_factory=dict)
+    #: ticks a ``slow`` dispatch stays in flight before completing.
+    slow_ticks: int = 3
+    #: ticks an ``ok`` dispatch stays in flight (1 = harvested next poll).
+    ok_ticks: int = 1
+
+    @classmethod
+    def from_actions(cls, *actions: str, **kwargs) -> "ChaosPolicy":
+        """Script slots 0..n-1 positionally: ``from_actions('kill', 'ok')``."""
+        return cls(script=dict(enumerate(actions)), **kwargs)
+
+    def action_for(self, slot: int) -> str:
+        return self.script.get(slot, CHAOS_OK)
+
+
+class _ChaosFuture:
+    """A scripted stand-in for one dispatched worker future."""
+
+    def __init__(self, fn, args, action: str, harness: "ChaosHarness") -> None:
+        self._fn = fn
+        self._args = args
+        self.action = action
+        self.harness = harness
+        # Service worker signature: (cell, machine, max_instructions,
+        # threshold, scale, heartbeat_dir, worker_tag, beat_interval,
+        # store_root, store_key).
+        self.cell = args[0]
+        self.worker_tag = args[6] if len(args) > 6 else "chaos"
+        self.store_root = args[8] if len(args) > 8 else None
+        self.store_key = args[9] if len(args) > 9 else None
+        self.cancelled = False
+        if action == CHAOS_SLOW:
+            self.ticks_left = harness.policy.slow_ticks
+        elif action == CHAOS_STALL:
+            self.ticks_left = -1  # never completes
+        else:
+            self.ticks_left = harness.policy.ok_ticks
+
+    # -- lifecycle driven by the harness tick ---------------------------
+    def on_tick(self) -> None:
+        if self.ticks_left > 0:
+            self.ticks_left -= 1
+        # Healthy and slow workers heartbeat; stalled/killed ones fall silent.
+        if self.action in (CHAOS_OK, CHAOS_SLOW, CHAOS_TORN_STORE) and not self.done():
+            self.harness.board.beat(self.cell.cell_id, self.worker_tag)
+
+    # -- future protocol -------------------------------------------------
+    def done(self) -> bool:
+        if self.action == CHAOS_STALL:
+            return False
+        return self.ticks_left <= 0
+
+    def result(self, timeout: Optional[float] = None):
+        if self.action == CHAOS_KILL:
+            raise process.BrokenProcessPool("chaos: worker SIGKILLed, pool broken")
+        if self.action == CHAOS_CRASH:
+            from ..runtime.errors import WorkerCrashed
+
+            raise WorkerCrashed("chaos: worker process died")
+        if self.action == CHAOS_INTERRUPT:
+            raise KeyboardInterrupt("chaos: supervisor interrupted")
+        if self.action == CHAOS_TORN_STORE:
+            self._tear_store_entry()
+            from ..runtime.errors import WorkerCrashed
+
+            raise WorkerCrashed("chaos: died mid store write (entry torn)")
+        return self._fn(*self._args)
+
+    def cancel(self) -> bool:
+        self.cancelled = True
+        return True
+
+    def _tear_store_entry(self) -> None:
+        """Leave a half-written entry where the result should have gone."""
+        if not (self.store_root and self.store_key):
+            return
+        import os
+
+        from ..runtime.store import ResultStore
+
+        path = ResultStore(self.store_root).path_for(self.store_key)
+        os.makedirs(os.path.dirname(path), exist_ok=True)
+        with open(path, "w", encoding="utf-8") as handle:
+            handle.write('{"schema": "repro-store/1", "key": "' + self.store_key[:16])
+
+
+class ChaosExecutor:
+    """Pool stand-in whose futures follow a :class:`ChaosPolicy` script."""
+
+    def __init__(self, harness: "ChaosHarness", max_workers: Optional[int] = None) -> None:
+        self.harness = harness
+        self.max_workers = max_workers
+        self.submitted: List[_ChaosFuture] = []
+        self.shutdown_calls: List[Tuple[bool, bool]] = []
+
+    def submit(self, fn, *args, **kwargs) -> _ChaosFuture:
+        slot = self.harness.next_slot()
+        action = self.harness.policy.action_for(slot)
+        future = _ChaosFuture(fn, args, action, self.harness)
+        self.harness.injected[action] = self.harness.injected.get(action, 0) + 1
+        self.submitted.append(future)
+        self.harness.live.append(future)
+        return future
+
+    def shutdown(self, wait: bool = True, cancel_futures: bool = False) -> None:
+        self.shutdown_calls.append((wait, cancel_futures))
+        if cancel_futures:
+            for future in self.submitted:
+                future.cancel()
+
+
+class ChaosHarness:
+    """Drives a :class:`~repro.runtime.service.CampaignSupervisor` through chaos.
+
+    Owns the :class:`~repro.runtime.heartbeat.ManualClock`, the in-memory
+    heartbeat board, and the scripted executor factory.  Installing the
+    harness replaces the supervisor's ``_sleep`` with :meth:`sleep`, so each
+    supervisor poll tick *is* a harness tick: the clock advances by exactly
+    the requested interval and every live future gets one ``on_tick`` —
+    lease-expiry races become scripted sequences, never wall-clock races.
+
+    Build supervisors with ``CampaignSupervisor(..., **harness.supervisor_kwargs())``
+    then call :meth:`attach`.
+    """
+
+    def __init__(self, policy: ChaosPolicy) -> None:
+        from ..runtime.heartbeat import HeartbeatBoard, ManualClock
+
+        self.policy = policy
+        self.clock = ManualClock()
+        self.board = HeartbeatBoard(clock=self.clock)
+        self.live: List[_ChaosFuture] = []
+        self.executors: List[ChaosExecutor] = []
+        self.injected: Dict[str, int] = {}
+        self._slots = 0
+        self.ticks = 0
+
+    def next_slot(self) -> int:
+        slot = self._slots
+        self._slots += 1
+        return slot
+
+    def executor_factory(self, max_workers: Optional[int] = None) -> ChaosExecutor:
+        executor = ChaosExecutor(self, max_workers)
+        self.executors.append(executor)
+        return executor
+
+    def supervisor_kwargs(self) -> Dict[str, object]:
+        """Constructor kwargs that put the supervisor on harness time."""
+        return {
+            "clock": self.clock,
+            "heartbeats": self.board,
+            "executor_factory": self.executor_factory,
+            "use_heartbeat_files": False,
+        }
+
+    def attach(self, supervisor) -> None:
+        supervisor._sleep = self.sleep
+
+    def sleep(self, seconds: float) -> None:
+        self.ticks += 1
+        self.clock.advance(seconds)
+        for future in list(self.live):
+            future.on_tick()
+
+
+# ----------------------------------------------------------------------
 # SimSession cache faults
 # ----------------------------------------------------------------------
 def evict_traces(session: SimSession, keep: int = 0) -> int:

@@ -213,3 +213,38 @@ def test_batch_digests_key_includes_inputs_and_variant():
     assert session.cache_stats()["batch_digests"] == 2
     session.reset()
     assert session.cache_stats()["batch_digests"] == 0
+
+
+# ----------------------------------------------------------------------
+# Shared result store under the suite runner (L2 beneath the session L1)
+# ----------------------------------------------------------------------
+def test_suite_runner_restores_from_store_without_resimulating(tmp_path):
+    from repro.core.session import reset_session
+    from repro.runtime.store import ResultStore
+
+    store = ResultStore(str(tmp_path / "store"))
+    first = ParallelSuiteRunner(jobs=1, store=store, **SUITE_KW)
+    report = first.run()
+    _check_report(report, first)
+    assert report.store_hits == 0
+    assert len(store) == 4  # every fresh result was published
+
+    # Drop the in-process session L1 so only the persistent L2 can explain
+    # a zero-simulation warm run.
+    reset_session()
+    runs_before = get_metrics().get("sim.runs")
+    second = ParallelSuiteRunner(jobs=1, store=store, **SUITE_KW)
+    warm = second.run()
+    _check_report(warm, second)
+    assert warm.store_hits == 4
+    assert get_metrics().get("sim.runs") == runs_before  # zero re-simulation
+    want = {(r.workload, r.config): r.ipc for r in report.results}
+    got = {(r.workload, r.config): r.ipc for r in warm.results}
+    assert got == want
+
+
+def test_suite_runner_retry_deadline_defaults_to_cell_timeout():
+    runner = ParallelSuiteRunner(jobs=1, **SUITE_KW)
+    assert runner.retry_deadline == runner.cell_timeout
+    capped = ParallelSuiteRunner(jobs=1, retry_deadline=0.25, **SUITE_KW)
+    assert capped.retry_deadline == 0.25

@@ -67,6 +67,17 @@ def test_spec_config_dict_excludes_jobs():
     assert rebuilt.jobs == 3
 
 
+def test_spec_from_config_defaults_optional_fields():
+    # Hand-written spool specs (`repro serve`) may omit anything with a
+    # dataclass default; only the grid axes are required.
+    spec = CampaignSpec.from_config({"workloads": ["li"], "configs": ["lvp"]})
+    assert spec.recoveries == ("selective",)
+    assert spec.machine == "table1"
+    assert spec.max_instructions == 40_000
+    assert spec.threshold == 0.8
+    assert spec.scale == 1.0
+
+
 def test_spec_cell_ids_are_grid_ordered():
     assert SPEC.cell_ids() == [
         "li/no_predict/selective",
@@ -265,3 +276,58 @@ def test_resume_refuses_drifted_batch_digest(tmp_path):
         json.dump(stored, handle)
     with pytest.raises(ValueError, match="batch digest mismatch.*li"):
         resume_campaign(str(tmp_path), "drift", jobs=2, executor_factory=_ExecutorFactory())
+
+
+# ----------------------------------------------------------------------
+# Service CLI surface (--workers / --store / serve)
+# ----------------------------------------------------------------------
+def test_cli_run_with_workers_uses_supervised_service(tmp_path, capsys):
+    store_dir = tmp_path / "store"
+    argv = [
+        "run", "--workload", "li", "--config", "no_predict", "lvp",
+        "--max-insts", str(MAX_INSTS), "--out-dir", str(tmp_path / "runs"),
+        "--run-id", "svc", "--workers", "2", "--store", str(store_dir),
+    ]
+    assert main(argv) == 0
+    out = capsys.readouterr().out
+    assert "campaign svc (run): 2/2 cells ok" in out
+    # Fresh results were published to the shared store...
+    assert any(store_dir.rglob("*.json"))
+
+    # ...and a second campaign over the same grid is served from it.
+    argv2 = argv[:]
+    argv2[argv2.index("svc")] = "svc2"
+    assert main(argv2) == 0
+    out = capsys.readouterr().out
+    assert "campaign svc2 (run): 2/2 cells ok, 2 from store" in out
+
+
+def test_cli_serve_once_drains_spool(tmp_path, capsys):
+    spool = tmp_path / "spool"
+    spool.mkdir()
+    spec = CampaignSpec(
+        workloads=("li",), configs=("no_predict", "lvp"), max_instructions=MAX_INSTS
+    )
+    (spool / "demo.json").write_text(json.dumps(spec.config_dict()))
+
+    argv = [
+        "serve", "--spool", str(spool), "--out-dir", str(tmp_path / "runs"),
+        "--workers", "1", "--store", str(tmp_path / "store"), "--once",
+    ]
+    assert main(argv) == 0
+    out = capsys.readouterr().out
+    assert "serve: campaign demo: 2/2 ok" in out
+    assert (spool / "done" / "demo.json").exists()
+    report = json.loads((tmp_path / "runs" / "demo.report.json").read_text())
+    assert report["complete"] is True
+    assert report["counts"] == {"ok": 2}
+
+
+def test_cli_serve_moves_bad_spec_to_failed(tmp_path, capsys):
+    spool = tmp_path / "spool"
+    spool.mkdir()
+    (spool / "broken.json").write_text('{"workloads": ["li"]}')  # missing fields
+    argv = ["serve", "--spool", str(spool), "--out-dir", str(tmp_path / "runs"), "--once"]
+    assert main(argv) == 2
+    assert (spool / "failed" / "broken.json").exists()
+    assert (spool / "failed" / "broken.error").exists()

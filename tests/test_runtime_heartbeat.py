@@ -1,0 +1,172 @@
+"""Tests for the lease/heartbeat layer behind the campaign service.
+
+Everything here runs on :class:`ManualClock` so lease expiry, steals and
+renewal races are scripted deterministically — no sleeps, no wall time.
+"""
+
+import pytest
+
+from repro.runtime.heartbeat import (
+    DEFAULT_LEASE_DURATION,
+    FileHeartbeatBoard,
+    HeartbeatBoard,
+    Lease,
+    LeaseError,
+    LeaseTable,
+    ManualClock,
+    MonotonicClock,
+)
+
+
+# ----------------------------------------------------------------------
+# Clocks
+# ----------------------------------------------------------------------
+def test_manual_clock_advances_only_when_told():
+    clock = ManualClock(start=10.0)
+    assert clock.now() == 10.0
+    clock.advance(2.5)
+    assert clock.now() == 12.5
+    assert clock.now() == 12.5  # reading does not tick
+
+
+def test_manual_clock_rejects_negative_advance():
+    clock = ManualClock()
+    with pytest.raises(ValueError):
+        clock.advance(-1.0)
+
+
+def test_monotonic_clock_is_monotonic():
+    clock = MonotonicClock()
+    a = clock.now()
+    b = clock.now()
+    assert b >= a
+
+
+# ----------------------------------------------------------------------
+# Heartbeat boards
+# ----------------------------------------------------------------------
+def test_heartbeat_board_records_latest_beat():
+    clock = ManualClock()
+    board = HeartbeatBoard(clock=clock)
+    assert board.last_beat("cell") is None
+    board.beat("cell", "w1")
+    clock.advance(1.0)
+    board.beat("cell", "w1")
+    worker, at = board.last_beat("cell")
+    assert worker == "w1"
+    assert at == 1.0
+    board.clear("cell")
+    assert board.last_beat("cell") is None
+
+
+def test_file_heartbeat_board_roundtrip(tmp_path):
+    board = FileHeartbeatBoard(str(tmp_path), clock=ManualClock(start=5.0))
+    board.beat("li/lvp/selective", "d3")
+    worker, at = board.last_beat("li/lvp/selective")
+    assert worker == "d3"
+    assert at == pytest.approx(5.0)
+
+
+def test_file_heartbeat_board_torn_payload_reads_as_none(tmp_path):
+    board = FileHeartbeatBoard(str(tmp_path), clock=ManualClock())
+    board.beat("cell", "w1")
+    # Simulate a torn write: truncate the payload mid-field.
+    path = next(tmp_path.iterdir())
+    path.write_text("w1 12.3")  # fine: still two fields
+    assert board.last_beat("cell") is not None
+    path.write_text("w1")  # torn: timestamp missing
+    assert board.last_beat("cell") is None
+    path.write_text("w1 not-a-number\n")
+    assert board.last_beat("cell") is None
+
+
+def test_file_heartbeat_board_clear_removes_file(tmp_path):
+    board = FileHeartbeatBoard(str(tmp_path), clock=ManualClock())
+    board.beat("cell", "w1")
+    board.clear("cell")
+    assert board.last_beat("cell") is None
+    board.clear("cell")  # idempotent on missing file
+
+
+# ----------------------------------------------------------------------
+# Leases
+# ----------------------------------------------------------------------
+def test_lease_deadline_and_expiry():
+    lease = Lease(cell_id="c", owner="w1", granted_at=0.0, duration=10.0)
+    assert lease.deadline == 10.0
+    assert not lease.expired(10.0)  # boundary is still held
+    assert lease.expired(10.1)
+
+
+def test_lease_table_claim_renew_release():
+    clock = ManualClock()
+    table = LeaseTable(duration=10.0, clock=clock)
+    table.claim("c1", "w1")
+    assert table.holder("c1") == "w1"
+    assert "c1" in table
+    clock.advance(8.0)
+    table.renew("c1", owner="w1")
+    clock.advance(8.0)  # 16s total: would have expired without the renewal
+    assert table.expired_leases() == []
+    table.release("c1")
+    assert "c1" not in table
+    assert table.stats.releases == 1
+
+
+def test_lease_table_double_claim_on_live_lease_raises():
+    table = LeaseTable(duration=10.0, clock=ManualClock())
+    table.claim("c1", "w1")
+    with pytest.raises(LeaseError):
+        table.claim("c1", "w2")
+
+
+def test_lease_table_claim_supersedes_expired_lease():
+    clock = ManualClock()
+    table = LeaseTable(duration=10.0, clock=clock)
+    table.claim("c1", "w1")
+    clock.advance(10.1)
+    assert [lease.cell_id for lease in table.expired_leases()] == ["c1"]
+    table.claim("c1", "w2")  # steal: allowed once expired
+    assert table.holder("c1") == "w2"
+    assert table.expired_leases() == []
+
+
+def test_lease_table_renew_by_non_owner_is_rejected():
+    table = LeaseTable(duration=10.0, clock=ManualClock())
+    table.claim("c1", "w1")
+    with pytest.raises(LeaseError):
+        table.renew("c1", owner="w2")
+
+
+def test_lease_table_renew_uses_latest_timestamp():
+    clock = ManualClock()
+    table = LeaseTable(duration=10.0, clock=clock)
+    table.claim("c1", "w1")
+    clock.advance(5.0)
+    table.renew("c1", owner="w1", at=4.0)  # stale heartbeat must not rewind
+    lease = table.active()["c1"]
+    assert lease.renewed_at == pytest.approx(4.0)
+    table.renew("c1", owner="w1", at=5.0)
+    assert table.active()["c1"].renewed_at == pytest.approx(5.0)
+
+
+def test_lease_table_reclaim_counts_expirations():
+    clock = ManualClock()
+    table = LeaseTable(duration=1.0, clock=clock)
+    table.claim("c1", "w1")
+    clock.advance(2.0)
+    table.reclaim("c1")
+    assert table.stats.reclaims == 1
+    assert table.stats.expirations == 1
+    assert len(table) == 0
+    # Reclaiming an unexpired lease (supervisor-initiated steal) counts the
+    # reclaim but not an expiration.
+    table.claim("c2", "w1")
+    table.reclaim("c2")
+    assert table.stats.reclaims == 2
+    assert table.stats.expirations == 1
+
+
+def test_lease_table_default_duration():
+    table = LeaseTable()
+    assert table.duration == DEFAULT_LEASE_DURATION

@@ -250,3 +250,144 @@ def test_is_timeout():
     assert is_timeout(FutureTimeout("deadline"))
     assert is_timeout(TimeoutError("deadline"))
     assert not is_timeout(ValueError("nope"))
+
+
+# ----------------------------------------------------------------------
+# Multi-appender and adversarial replay edge cases (campaign service)
+# ----------------------------------------------------------------------
+def test_interleaved_records_from_two_appenders_replay_last_wins(tmp_path):
+    """Two supervisors interleaving appends (a lease-expiry race that briefly
+    double-dispatched) must still replay deterministically: per cell, the
+    last record on disk wins, regardless of which appender wrote it."""
+    journal = _make(tmp_path)
+    journal.record(CELLS[0], "failed", error="appender A, attempt 1")
+    journal.close()
+    # Appender B (the stealing supervisor) writes directly, interleaving
+    # records for both cells between A's.
+    with open(journal.path, "a") as handle:
+        handle.write(json.dumps({"type": "cell", "id": CELLS[1], "status": "ok",
+                                 "result": {"ipc": 2.0}, "writer": "B"}) + "\n")
+        handle.write(json.dumps({"type": "cell", "id": CELLS[0], "status": "ok",
+                                 "result": {"ipc": 1.0}, "writer": "B"}) + "\n")
+    resumed = RunJournal.open(journal.path)
+    resumed.record(CELLS[1], "ok", attempts=2, result={"ipc": 3.0})  # A again, later
+    resumed.close()
+
+    final = RunJournal.open(journal.path)
+    assert final.status_of(CELLS[0]) == "ok"
+    assert final.states()[CELLS[0]]["result"] == {"ipc": 1.0}
+    assert final.states()[CELLS[1]]["result"] == {"ipc": 3.0}  # latest append wins
+    assert final.pending_cells() == []
+
+
+def test_header_rewritten_mid_resume_is_refused(tmp_path):
+    """If line 1 is rewritten between replay and append, appending would
+    attach our records to a different run's identity — refuse loudly."""
+    journal = _make(tmp_path)
+    journal.record(CELLS[0], "ok", result={})
+    journal.close()
+
+    resumed = RunJournal.open(journal.path)  # replays, no append handle yet
+    lines = open(journal.path).read().splitlines()
+    header = json.loads(lines[0])
+    header["run_id"] = "hijacked"
+    lines[0] = json.dumps(header)
+    with open(journal.path, "w") as handle:
+        handle.write("\n".join(lines) + "\n")
+
+    with pytest.raises(JournalError, match="underneath an active resume"):
+        resumed.record(CELLS[1], "ok", result={})
+
+
+def test_header_replaced_with_garbage_mid_resume_is_refused(tmp_path):
+    journal = _make(tmp_path)
+    journal.close()
+    resumed = RunJournal.open(journal.path)
+    lines = open(journal.path).read().splitlines()
+    lines[0] = '{"type": "header", "schema": '  # now unparseable
+    with open(journal.path, "w") as handle:
+        handle.write("\n".join(lines) + "\n")
+    with pytest.raises(JournalError):
+        resumed.record(CELLS[0], "ok", result={})
+
+
+def test_event_notes_are_replayed_but_never_change_cell_state(tmp_path):
+    journal = _make(tmp_path)
+    journal.record(CELLS[0], "ok", result={})
+    journal.note("lease_stolen", cell=CELLS[1], worker="d3")
+    journal.note("pool_rebuilt", rebuilds=1)
+    journal.close()
+
+    replayed = RunJournal.open(journal.path)
+    events = replayed.events()
+    assert [e["event"] for e in events] == ["lease_stolen", "pool_rebuilt"]
+    assert events[0]["cell"] == CELLS[1]
+    # Notes are observability only: replayed cell state is untouched.
+    assert replayed.status_of(CELLS[0]) == "ok"
+    assert replayed.pending_cells() == [CELLS[1]]
+
+
+# ----------------------------------------------------------------------
+# Backoff total-elapsed deadline cap
+# ----------------------------------------------------------------------
+def test_backoff_deadline_caps_total_elapsed_delay():
+    key = ("li", "lvp", "selective")
+    unbounded = list(backoff_delays(10, seed=key))
+    total = sum(unbounded)
+    deadline = total / 2
+    capped = list(backoff_delays(10, seed=key, deadline=deadline))
+    assert sum(capped) <= deadline + 1e-9
+    assert len(capped) < len(unbounded)
+    # The schedule is a prefix of the unbounded one, with at most the last
+    # delay clipped to the remaining budget.
+    assert capped[:-1] == unbounded[: len(capped) - 1]
+    assert capped[-1] <= unbounded[len(capped) - 1]
+
+
+def test_backoff_deadline_zero_yields_no_retries():
+    assert list(backoff_delays(5, seed="cell", deadline=0.0)) == []
+
+
+def test_backoff_deadline_none_is_unbounded():
+    key = "cell"
+    assert list(backoff_delays(4, seed=key, deadline=None)) == list(backoff_delays(4, seed=key))
+
+
+# ----------------------------------------------------------------------
+# Directory durability (crash-rename POSIX discipline)
+# ----------------------------------------------------------------------
+def test_atomic_write_fsyncs_parent_directory(tmp_path, monkeypatch):
+    """The rename is only durable once the parent directory entry is synced;
+    regression-pin that atomic_write_text fsyncs the directory."""
+    from repro.runtime import atomic as atomic_mod
+
+    synced = []
+    real = atomic_mod.fsync_directory
+    monkeypatch.setattr(atomic_mod, "fsync_directory", lambda p: (synced.append(p), real(p)))
+    atomic_mod.atomic_write_text(str(tmp_path / "x.json"), "{}")
+    assert str(tmp_path) in synced
+
+
+def test_ensure_durable_directory_creates_and_syncs_chain(tmp_path, monkeypatch):
+    from repro.runtime import atomic as atomic_mod
+
+    synced = []
+    real = atomic_mod.fsync_directory
+    monkeypatch.setattr(atomic_mod, "fsync_directory", lambda p: (synced.append(p), real(p)))
+    target = tmp_path / "a" / "b" / "c"
+    result = atomic_mod.ensure_durable_directory(str(target))
+    assert result == str(target)
+    assert target.is_dir()
+    # Every newly created entry was fsynced in its parent, root-first.
+    assert synced == [str(tmp_path), str(tmp_path / "a"), str(tmp_path / "a" / "b")]
+    # Idempotent: nothing new to create, nothing new to sync.
+    synced.clear()
+    atomic_mod.ensure_durable_directory(str(target))
+    assert synced == []
+
+
+def test_journal_create_makes_out_dir_durably(tmp_path):
+    out = tmp_path / "fresh" / "runs"
+    journal = RunJournal.create(str(out), "r1", CONFIG, CELLS)
+    journal.close()
+    assert (out / "r1.journal.jsonl").exists()
